@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` regenerates one of the paper's tables or figures:
+it runs the corresponding experiment once under ``benchmark.pedantic``
+(Monte-Carlo experiments are too heavy for repeated timing rounds),
+prints the same rows/series the paper reports, and asserts the shape
+properties the reproduction targets.  Run with ``-s`` to see the tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,47 @@
+"""Ablation: the majority-vote threshold (paper Section V, tau_sync=42).
+
+The paper fixes the synchronized decision threshold at half the stable
+window ("out of 84 values ... 42 or more above 0 indicates bit 1").
+With symmetric noise the centered threshold is optimal; this bench
+sweeps it and verifies the paper's choice sits at the BER minimum.
+"""
+
+import numpy as np
+
+from repro.core.link import SymBeeLink
+from repro.dsp.signal_ops import watts_to_dbm
+from repro.experiments.common import scaled
+
+
+def ber_for_threshold(tau_sync, snr_db, n_frames, seed=88):
+    rng = np.random.default_rng(seed)
+    probe = SymBeeLink()
+    noise_floor = watts_to_dbm(probe.front_end.noise_power_watts)
+    link = SymBeeLink(tx_power_dbm=noise_floor + snr_db, tau_sync=tau_sync)
+    errors = sent = 0
+    for _ in range(n_frames):
+        bits = rng.integers(0, 2, 48)
+        result = link.send_bits(bits, rng, decode_synchronized=False)
+        errors += result.bit_errors
+        sent += result.n_bits
+    return errors / sent
+
+
+def test_bench_ablation_decision_boundary(run_once, benchmark):
+    n_frames = scaled(10)
+    thresholds = (12, 27, 42, 57, 72)
+
+    def sweep():
+        return {t: ber_for_threshold(t, snr_db=-4.0, n_frames=n_frames)
+                for t in thresholds}
+
+    bers = run_once(sweep)
+    print("\n== ablation: BER vs majority-vote threshold (SNR -4 dB) ==")
+    for threshold, ber in bers.items():
+        print(f"  tau_sync={threshold}: BER {ber:.3f}")
+    benchmark.extra_info.update({f"tau_{k}": v for k, v in bers.items()})
+
+    # The centered threshold must beat both extremes (U-shaped curve).
+    assert bers[42] <= bers[12] + 0.01
+    assert bers[42] <= bers[72] + 0.01
+    assert max(bers[12], bers[72]) > bers[42]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Appendices A/B (phase levels, CFO compensation)."""
+
+from repro.experiments import appendix_phase_values as appendix
+
+
+def test_bench_appendix(run_once, benchmark):
+    result = run_once(appendix.run)
+    appendix.main()
+    benchmark.extra_info["n_levels"] = len(result.observed_levels)
+
+    # Appendix A: all 17 derived +-i*pi/10 levels occur and the extremes
+    # are exactly -+4pi/5 (the bit-separation property).
+    assert result.derived_levels_present
+    assert result.extremes_are_stable_phase
+    assert result.on_pi_over_20_grid
+    # Appendix B: one constant +4pi/5 correction for every overlapping
+    # WiFi/ZigBee channel pair.
+    assert result.correction_constant
+    assert len(result.cfo_rows) >= 40

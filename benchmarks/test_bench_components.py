@@ -1,0 +1,96 @@
+"""Component micro-benchmarks: the hot paths of the pipeline.
+
+These are classic repeated-timing benchmarks (unlike the experiment
+benches, which run once): modulation, the idle-listening phase stream,
+folding, synchronized decoding, and a full end-to-end frame.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import SymBeeDecoder
+from repro.core.link import SymBeeLink
+from repro.dsp.folding import circular_folded_profile
+from repro.wifi.idle_listening import phase_differences
+from repro.zigbee.oqpsk import OqpskModulator
+
+
+@pytest.fixture(scope="module")
+def sample_symbols():
+    rng = np.random.default_rng(1)
+    return list(rng.integers(0, 16, 262))  # one max-size PPDU
+
+
+@pytest.fixture(scope="module")
+def sample_capture():
+    link = SymBeeLink()
+    rng = np.random.default_rng(2)
+    result = link.send_bits([1, 0] * 30, rng, keep_phases=True)
+    return link, result
+
+
+def test_bench_component_modulator(benchmark, sample_symbols):
+    mod = OqpskModulator(20e6)
+    waveform = benchmark(mod.modulate_symbols, sample_symbols)
+    assert waveform.size > 80_000
+
+
+def test_bench_component_phase_stream(benchmark, sample_capture):
+    link, result = sample_capture
+    rng = np.random.default_rng(3)
+    samples = rng.standard_normal(100_000) + 1j * rng.standard_normal(100_000)
+    phases = benchmark(phase_differences, samples, 16)
+    assert phases.size == 100_000 - 16
+
+
+def test_bench_component_folding(benchmark, sample_capture):
+    _, result = sample_capture
+    profile = benchmark(circular_folded_profile, result.phases, 640, 4)
+    assert profile.size > 0
+
+
+def test_bench_component_sync_decode(benchmark, sample_capture):
+    link, result = sample_capture
+    decoded = benchmark(
+        link.decoder.decode_synchronized,
+        result.phases,
+        result.true_data_start,
+        60,
+    )
+    assert len(decoded.bits) == 60
+
+
+def test_bench_component_unsync_detect(benchmark, sample_capture):
+    link, result = sample_capture
+    detections = benchmark(link.decoder.detect_bits, result.phases)
+    assert detections
+
+
+def test_bench_component_end_to_end_frame(benchmark):
+    link = SymBeeLink()
+    rng = np.random.default_rng(4)
+
+    def send():
+        return link.send_bits([1, 0, 1, 1, 0, 0, 1, 0], rng)
+
+    result = benchmark(send)
+    assert result.preamble_captured
+
+
+def test_bench_component_decoder_realtime_margin(benchmark, sample_capture):
+    """The decoder must keep up with the stream it recycles.
+
+    One SymBee bit spans 32 us of air time; decoding it must take far
+    less than that for the light-weight-decoding claim to hold.
+    """
+    link, result = sample_capture
+    n_bits = 60
+
+    def decode():
+        return link.decoder.decode_synchronized(
+            result.phases, result.true_data_start, n_bits
+        )
+
+    benchmark(decode)
+    per_bit_seconds = benchmark.stats.stats.mean / n_bits
+    assert per_bit_seconds < 32e-6  # faster than real time

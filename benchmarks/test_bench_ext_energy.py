@@ -1,0 +1,17 @@
+"""Extension bench: sender energy per delivered bit (CC2420 model)."""
+
+from repro.experiments import ext_energy
+
+
+def test_bench_ext_energy(run_once, benchmark):
+    result = run_once(ext_energy.run)
+    ext_energy.main()
+    benchmark.extra_info["symbee_uj_per_bit"] = result.symbee_uj_per_bit
+    benchmark.extra_info["advantage"] = result.advantage
+
+    # The throughput advantage translates into an order-of-magnitude
+    # energy-per-bit advantage on the sender.
+    assert result.symbee_uj_per_bit < 5.0
+    assert result.advantage > 5.0
+    schemes = {row[0] for row in result.rows}
+    assert "SymBee" in schemes and "C-Morse" in schemes

@@ -1,0 +1,19 @@
+"""Extension bench: WiFi link under ZigBee interference (reverse CTI)."""
+
+from repro.experiments import ext_reverse_cti
+
+
+def test_bench_ext_reverse_cti(run_once, benchmark):
+    result = run_once(ext_reverse_cti.run)
+    ext_reverse_cti.main()
+    benchmark.extra_info["detection"] = dict(
+        zip(result.sir_db, result.detection_rate)
+    )
+
+    # Weak ZigBee is harmless; strong in-band ZigBee kills WiFi packet
+    # *detection* (the Schmidl-Cox plateau) before data errors dominate.
+    assert result.detection_rate[0] >= 0.9          # SIR 30 dB
+    assert result.ber_when_detected[0] < 0.01
+    assert result.detection_rate[-1] <= 0.3         # SIR 0 dB
+    # Monotone-ish degradation with falling SIR.
+    assert result.detection_rate[0] >= result.detection_rate[-1]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 3/5 (cross-observation of ZigBee symbol 6)."""
+
+import numpy as np
+
+from repro.experiments import fig05_cross_observation as fig05
+
+
+def test_bench_fig05(run_once, benchmark):
+    result = run_once(fig05.run, symbol=6)
+    fig05.main()
+    benchmark.extra_info["stable_run_samples"] = result.stable_run_samples
+    # The paper's Figure 5 gray region: a multi-us stable stretch at a
+    # +-4pi/5 level inside a single symbol.
+    assert result.stable_run_samples >= 30
+    assert abs(result.stable_level) == np.pi * 0.8

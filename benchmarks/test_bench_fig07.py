@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 6/7/8 (stable phases and pair optimality)."""
+
+import numpy as np
+
+from repro.experiments import fig07_stable_phase as fig07
+
+
+def test_bench_fig07(run_once, benchmark):
+    result = run_once(fig07.run)
+    fig07.main()
+    benchmark.extra_info["bit1_run"] = result.bit1_run
+    benchmark.extra_info["best_other_run"] = result.best_other_run
+    # Paper: 84 stable values (4.2 us), longest over all combinations,
+    # with maximal 8pi/5 separation between the two bit levels.
+    assert result.bit1_run >= 84
+    assert result.bit0_run >= 84
+    assert result.best_other_run < result.bit1_run
+    assert result.separation_rad == np.pi * 1.6

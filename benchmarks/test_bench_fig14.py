@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 14 (BER, six scenarios x 5-25 m)."""
+
+from repro.experiments import fig14_ber_scenarios as fig14
+
+
+def test_bench_fig14(run_once, benchmark):
+    result = run_once(fig14.run)
+    fig14.main(result)
+    benchmark.extra_info["outdoor_max_ber"] = max(result.ber["outdoor"])
+
+    # Paper shape: outdoor <= 5% at every distance; the clean sites stay
+    # below the interfered ones; all BERs bounded well away from coin
+    # flipping at the measured operating points.
+    assert max(result.ber["outdoor"]) <= 0.05
+    assert max(result.ber["classroom"]) <= max(result.ber["mall"]) + 0.02
+    for name in result.scenarios:
+        assert max(result.ber[name]) < 0.6

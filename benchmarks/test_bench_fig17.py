@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 17 (vote-count constellation, outdoor 15 m)."""
+
+from repro.experiments import fig17_constellation as fig17
+
+
+def test_bench_fig17(run_once, benchmark):
+    result = run_once(fig17.run)
+    fig17.main()
+    benchmark.extra_info["decode_success"] = result.decode_success_rate
+
+    # Paper: >= 98% of the dots land on the correct side of the
+    # 42-vote boundary, with the two clusters far apart.
+    assert result.decode_success_rate >= 0.98
+    assert result.bit0_counts and result.bit1_counts
+    assert max(result.bit0_counts) < result.threshold
+    assert min(result.bit1_counts) > result.threshold

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 18 (NLOS office deployment)."""
+
+from repro.experiments import fig18_nlos as fig18
+
+
+def test_bench_fig18(run_once, benchmark):
+    result = run_once(fig18.run)
+    fig18.main()
+    throughput = {row[0]: row[3] for row in result.rows}
+    benchmark.extra_info.update(
+        {pos: round(kbps, 2) for pos, kbps in throughput.items()}
+    )
+
+    # Paper shape: S2 beats the closer-but-more-walled S3, and S4
+    # (farthest, two walls) is the weakest position.
+    assert result.wall_effect_ok
+    assert throughput["S4"] <= min(throughput["S1"], throughput["S2"]) + 0.5
+    assert throughput["S1"] >= throughput["S4"]

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 19 (impact of transmission power)."""
+
+from repro.experiments import fig19_tx_power as fig19
+
+
+def test_bench_fig19(run_once, benchmark):
+    result = run_once(fig19.run)
+    fig19.main()
+    benchmark.extra_info["outdoor_ber_minus15dbm"] = result.ber["outdoor"][0]
+
+    # Paper shape: BER falls as TX power rises; outdoor outperforms the
+    # indoor office at equal power because of multipath; the -15 dBm
+    # point shows real degradation while 0 dBm is clean.
+    for env, bers in result.ber.items():
+        assert bers[0] >= bers[-1] - 0.02, env
+        assert bers[-1] <= 0.05, env
+    assert result.ber["outdoor"][0] > 0.02
+    assert (
+        result.ber["office (midnight)"][0] >= result.ber["outdoor"][0] - 0.05
+    )
+    for outdoor_snr, office_snr in zip(
+        result.snr_db["outdoor"], result.snr_db["office (midnight)"]
+    ):
+        assert outdoor_snr > office_snr - 1.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig 21 (BER vs SINR with/without Hamming coding)."""
+
+from repro.experiments import fig21_hamming as fig21
+
+
+def test_bench_fig21(run_once, benchmark):
+    result = run_once(fig21.run)
+    fig21.main()
+    low = result.sinr_db.index(min(result.sinr_db))
+    benchmark.extra_info["uncoded_ber_lowest_sinr"] = result.ber_uncoded[low]
+
+    # Paper shape: about 19.5% uncoded BER at -10 dB SINR, coding
+    # roughly halving BER in the moderate-SINR region, both curves
+    # falling to zero by +6 dB.
+    assert 0.10 <= result.ber_uncoded[low] <= 0.40
+    mid = result.sinr_db.index(-6)
+    assert result.ber_coded[mid] <= 0.7 * result.ber_uncoded[mid] + 0.01
+    top = result.sinr_db.index(max(result.sinr_db))
+    assert result.ber_uncoded[top] < 0.01
+    assert result.ber_coded[top] < 0.01

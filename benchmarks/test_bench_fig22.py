@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig 22 (impact of tau and of the preamble)."""
+
+from repro.experiments import fig22_tau_preamble as fig22
+
+
+def test_bench_fig22a_tau(run_once, benchmark):
+    result = run_once(fig22.run_tau_sweep)
+    benchmark.extra_info["fn_at_tau10"] = result.false_negative_rate[
+        result.taus.index(10)
+    ]
+    # Paper shape: higher tau misses fewer bits (F/N falls) but fires
+    # more often (F/P rises); tau = 10 balances at the knee.
+    assert result.false_negative_rate[0] >= result.false_negative_rate[-1]
+    assert result.false_positive_rate[-1] >= result.false_positive_rate[0]
+    idx10 = result.taus.index(10)
+    assert result.false_negative_rate[idx10] < result.false_negative_rate[0]
+    assert result.false_positive_rate[idx10] < result.false_positive_rate[-1]
+
+
+def test_bench_fig22b_preamble(run_once, benchmark):
+    result = run_once(fig22.run_preamble_comparison)
+    fig22.main()
+    benchmark.extra_info["ber_with_pre"] = result.ber_with_preamble
+    # Paper shape: the preamble slashes BER (27.4% -> 7.6% at its
+    # operating point); at every SNR the with-preamble curve wins.
+    for with_pre, without in zip(
+        result.ber_with_preamble, result.ber_without_preamble
+    ):
+        assert with_pre <= without + 0.02
+    # Somewhere in the sweep the gain is dramatic (>5x).
+    gains = [
+        wo / max(w, 1e-6)
+        for w, wo in zip(result.ber_with_preamble, result.ber_without_preamble)
+        if wo > 0.05
+    ]
+    assert gains and max(gains) > 5.0

@@ -1,0 +1,58 @@
+"""Extension bench: convergecast scaling (beyond the paper's figures).
+
+The paper evaluates single links; its motivating deployment is a sensor
+cluster converging on WiFi.  This bench measures how delivery, latency
+and goodput scale with cluster size under CSMA-CA contention — the
+obvious next experiment a follow-up paper would run.
+"""
+
+import numpy as np
+
+from repro.channel.scenarios import get_scenario
+from repro.experiments.common import scaled
+from repro.network import ConvergecastNetwork, NodeConfig
+
+
+def run_scaling(duration_s, seed=6):
+    scenario = get_scenario("office")
+    results = {}
+    for n_nodes in (2, 6, 12):
+        rng = np.random.default_rng(seed)
+        nodes = [
+            NodeConfig(
+                node_id=i,
+                distance_m=float(rng.uniform(4.0, 18.0)),
+                reading_interval_s=0.2,
+            )
+            for i in range(n_nodes)
+        ]
+        network = ConvergecastNetwork(
+            nodes, scenario, sim_duration_s=duration_s, seed=seed
+        )
+        results[n_nodes] = network.run()
+    return results
+
+
+def test_bench_network_scaling(run_once, benchmark):
+    duration = 1.0 * min(scaled(2), 4)
+    results = run_once(run_scaling, duration)
+
+    print("\n== convergecast scaling (office) ==")
+    for n_nodes, result in results.items():
+        print(
+            f"  {n_nodes:2d} nodes: delivery {result.delivery_ratio:.2f}, "
+            f"collisions {result.collision_rate:.2f}, "
+            f"latency {result.mean_latency_s * 1000:.1f} ms, "
+            f"airtime {result.channel_utilization:.3f}, "
+            f"goodput {result.goodput_bps(16):.0f} bps"
+        )
+    benchmark.extra_info.update(
+        {str(k): round(v.delivery_ratio, 3) for k, v in results.items()}
+    )
+
+    small, large = results[2], results[12]
+    # Aggregate goodput grows with offered load while per-channel airtime
+    # stays modest; delivery holds up under light contention.
+    assert large.goodput_bps(16) > small.goodput_bps(16)
+    assert small.delivery_ratio > 0.7
+    assert large.channel_utilization < 0.5

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (symbol-to-chip mapping)."""
+
+from repro.experiments import table1_symbol_chips as table1
+
+
+def test_bench_table1(run_once, benchmark):
+    result = run_once(table1.run)
+    table1.main()
+    benchmark.extra_info["cyclic_ok"] = result.cyclic_structure_ok
+    assert result.cyclic_structure_ok
+    assert result.conjugate_structure_ok
+    assert len(result.rows) == 16

@@ -1,0 +1,93 @@
+"""Explicit cross-technology channel coordination (paper §II-A, §VI-A).
+
+The paper argues CTC enables "explicit coordination among IoT devices
+using cross-technology RTS/CTS instead of implicit CSMA/CA".  This
+example quantifies that: a ZigBee sensor cluster shares a channel with
+a WiFi AP, and we compare
+
+* **implicit coexistence** — WiFi transmits whenever its own traffic
+  arrives, colliding with ongoing ZigBee packets it cannot decode, vs.
+* **SymBee coordination** — the ZigBee coordinator broadcasts its
+  upcoming transmission window over SymBee; the WiFi AP (which decodes
+  it straight from idle listening) defers inside that window.
+
+The airtime model is a simple slotted simulation on top of one *real*
+SymBee coordination exchange run through the full PHY.
+
+    python examples/channel_coordination.py
+"""
+
+import numpy as np
+
+from repro.core import SymBeeLink
+
+
+def run_coordination_exchange(rng):
+    """One real SymBee broadcast of a reservation (window length in ms)."""
+    link = SymBeeLink(tx_power_dbm=-70.0)
+    window_ms = 40
+    bits = [(window_ms >> (7 - i)) & 1 for i in range(8)]
+    result = link.send_bits(bits, rng)
+    decoded = int("".join(map(str, result.decoded_bits)), 2)
+    return result, window_ms, decoded
+
+
+def airtime_simulation(rng, coordinated, n_ms=10_000, zigbee_duty=0.25,
+                       wifi_duty=0.30, reservation_ms=40):
+    """Slotted (1 ms) coexistence model; returns ZigBee packet loss.
+
+    ZigBee transmits 4 ms packets; WiFi transmits 2 ms bursts whenever
+    its backlog says so.  Uncoordinated WiFi starts regardless of ZigBee
+    (it cannot decode ZigBee, so carrier sense fails on weak signals —
+    the classic CTI asymmetry the paper cites).  Coordinated WiFi defers
+    during reserved windows.
+    """
+    zigbee_loss = zigbee_total = 0
+    t = 0
+    while t < n_ms:
+        if rng.random() < zigbee_duty / 4:
+            # A reservation covers the next `reservation_ms`; ZigBee
+            # sends a burst of packets inside it.
+            window_end = min(t + reservation_ms, n_ms)
+            u = t
+            while u < window_end:
+                zigbee_total += 1
+                collided = False
+                for _ in range(4):  # 4 ms packet
+                    if rng.random() < wifi_duty / 2 and not coordinated:
+                        collided = True
+                    u += 1
+                zigbee_loss += int(collided)
+                u += int(rng.integers(1, 4))
+            t = window_end
+        else:
+            t += 1
+    return zigbee_loss, zigbee_total
+
+
+def main():
+    rng = np.random.default_rng(42)
+
+    result, sent_window, decoded_window = run_coordination_exchange(rng)
+    print("SymBee coordination exchange over the real PHY:")
+    print(f"  reservation sent: {sent_window} ms, decoded: {decoded_window} ms, "
+          f"bit errors: {result.bit_errors}")
+    assert decoded_window == sent_window
+
+    loss_implicit, total_implicit = airtime_simulation(rng, coordinated=False)
+    loss_coord, total_coord = airtime_simulation(rng, coordinated=True)
+    rate_implicit = loss_implicit / max(total_implicit, 1)
+    rate_coord = loss_coord / max(total_coord, 1)
+
+    print("\ncoexistence over 10 s of shared channel time:")
+    print(f"  implicit CSMA/CA : {rate_implicit:.1%} ZigBee packet loss "
+          f"({loss_implicit}/{total_implicit})")
+    print(f"  SymBee coordinated: {rate_coord:.1%} ZigBee packet loss "
+          f"({loss_coord}/{total_coord})")
+    print("\nThe paper cites up to 50% ZigBee loss under WiFi interference; "
+          "explicit cross-technology reservations remove the collisions "
+          "inside reserved windows entirely.")
+
+
+if __name__ == "__main__":
+    main()

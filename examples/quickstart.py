@@ -1,0 +1,56 @@
+"""Quickstart: send bits from ZigBee to WiFi through the full pipeline.
+
+Runs the complete SymBee path — payload encoding into a legitimate
+802.15.4 packet, O-QPSK modulation, an AWGN channel, the WiFi front end,
+idle-listening phase recycling, folding preamble capture, and majority-
+vote decoding — and prints what happened at each stage.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import SymBeeEncoder, SymBeeLink
+
+
+def text_to_bits(text):
+    return [int(b) for byte in text.encode() for b in f"{byte:08b}"]
+
+
+def bits_to_text(bits):
+    data = bytearray()
+    for start in range(0, len(bits) - 7, 8):
+        data.append(int("".join(map(str, bits[start : start + 8])), 2))
+    return data.decode(errors="replace")
+
+
+def main():
+    rng = np.random.default_rng(2024)
+    message = "SymBee!"
+    bits = text_to_bits(message)
+    print(f"message: {message!r} -> {len(bits)} SymBee bits")
+
+    # What actually goes in the ZigBee payload: one byte per bit.
+    encoder = SymBeeEncoder()
+    payload = encoder.encode_message(bits)
+    print(f"ZigBee payload ({len(payload)} bytes): {payload[:10].hex()}...")
+
+    # A link with 20 dB of SNR headroom (about 12 m outdoors at 0 dBm).
+    link = SymBeeLink(tx_power_dbm=-75.0)  # noise floor is ~-95 dBm
+    result = link.send_bits(bits, rng)
+
+    print(f"received SNR:        {result.snr_db:.1f} dB")
+    print(f"preamble captured:   {result.preamble_captured}")
+    print(
+        "timing error:        "
+        f"{result.captured_data_start - result.true_data_start} samples"
+    )
+    print(f"bit errors:          {result.bit_errors} / {result.n_bits}")
+    print(f"decoded message:     {bits_to_text(list(result.decoded_bits))!r}")
+
+    assert result.bit_errors == 0, "expected clean decode at this SNR"
+    print("\nOK: ZigBee spoke, WiFi listened.")
+
+
+if __name__ == "__main__":
+    main()

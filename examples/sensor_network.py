@@ -1,0 +1,66 @@
+"""Many sensors, one sink: convergecast over SymBee.
+
+The paper positions SymBee for "upstream (or convergecast) which takes
+majority portion of IoT traffic".  This example runs a whole sensor
+cluster — CSMA-CA contention, collisions, MAC retries, and per-frame
+delivery decided by the full PHY simulation — and shows how the shared
+channel behaves as the cluster grows.
+
+    python examples/sensor_network.py
+"""
+
+import numpy as np
+
+from repro.channel.scenarios import get_scenario
+from repro.experiments.common import print_table
+from repro.network import ConvergecastNetwork, NodeConfig
+
+
+def run_cluster(n_nodes, scenario, duration_s=3.0, seed=2):
+    rng = np.random.default_rng(seed)
+    nodes = [
+        NodeConfig(
+            node_id=i,
+            distance_m=float(rng.uniform(4.0, 20.0)),
+            reading_interval_s=0.25,
+            data_bits=16,
+        )
+        for i in range(n_nodes)
+    ]
+    network = ConvergecastNetwork(
+        nodes, scenario, sim_duration_s=duration_s, seed=seed
+    )
+    return network.run()
+
+
+def main():
+    scenario = get_scenario("office")
+    rows = []
+    for n_nodes in (2, 4, 8, 16):
+        result = run_cluster(n_nodes, scenario)
+        rows.append(
+            (
+                n_nodes,
+                result.readings_generated,
+                f"{result.delivery_ratio:.2f}",
+                f"{result.collision_rate:.2f}",
+                f"{result.mean_latency_s * 1000:.1f}",
+                f"{result.channel_utilization:.3f}",
+                f"{result.goodput_bps(16):.0f}",
+            )
+        )
+    print_table(
+        ("nodes", "readings", "delivery", "collisions", "latency ms",
+         "airtime", "goodput bps"),
+        rows,
+        title="convergecast cluster scaling (office scenario)",
+    )
+    print(
+        "\nCSMA-CA keeps collisions low while airtime is light; delivery "
+        "is then set by the SymBee PHY at each node's distance — the same "
+        "trade the paper's deployment faces."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""IoT sensor upstream: reliable sensor readings over SymBee frames.
+
+The paper motivates SymBee with upstream/convergecast IoT traffic —
+"IoT devices deliver data (e.g., sensing info.) directly to WiFi (i.e.,
+to the Internet and cloud)".  This example runs a temperature sensor in
+the office scenario that packs readings into SymBee frames (header,
+sequence number, CRC-16), sends them over the full PHY simulation, and
+retransmits on CRC failure — a realistic little transport on top of the
+public API.
+
+    python examples/sensor_upstream.py
+"""
+
+import numpy as np
+
+from repro.channel.scenarios import get_scenario
+from repro.core import SymBeeLink
+from repro.core.analytics import raw_bit_rate_bps
+
+
+def reading_to_bits(reading_centi_celsius):
+    """A 16-bit signed fixed-point temperature reading."""
+    value = int(reading_centi_celsius) & 0xFFFF
+    return [(value >> (15 - i)) & 1 for i in range(16)]
+
+
+def bits_to_reading(bits):
+    value = 0
+    for bit in bits:
+        value = (value << 1) | bit
+    if value >= 0x8000:
+        value -= 0x10000
+    return value
+
+
+def main():
+    rng = np.random.default_rng(7)
+    scenario = get_scenario("office")
+    distance_m = 18.0
+    link = SymBeeLink(
+        link_channel=scenario.link(distance_m),
+        interference=scenario.interference(),
+    )
+    print(f"sensor -> WiFi AP, {scenario.name} scenario, {distance_m:.0f} m")
+
+    true_temps = 2150 + np.cumsum(rng.integers(-15, 16, 20))  # centi-degC walk
+    max_retries = 3
+
+    delivered, transmissions = [], 0
+    for seq, temp in enumerate(true_temps):
+        bits = reading_to_bits(temp)
+        for attempt in range(1 + max_retries):
+            transmissions += 1
+            result, frame = link.send_frame(bits, sequence=seq & 0xFF, rng=rng)
+            if frame is not None and frame.crc_ok:
+                delivered.append((seq, bits_to_reading(list(frame.data_bits))))
+                break
+        else:
+            print(f"  reading {seq}: LOST after {1 + max_retries} attempts")
+
+    correct = sum(
+        1 for seq, value in delivered if value == int(true_temps[seq])
+    )
+    print(f"delivered readings:  {len(delivered)}/{len(true_temps)} "
+          f"({correct} bit-exact)")
+    print(f"transmissions used:  {transmissions} "
+          f"(retransmission overhead {transmissions / len(true_temps) - 1:.0%})")
+
+    frame_bits = 16 + 40  # data + SymBee frame overhead
+    goodput = correct * 16 / (transmissions * (frame_bits + 4) / raw_bit_rate_bps())
+    print(f"application goodput: {goodput / 1000:.2f} kbps "
+          f"(raw symbol rate {raw_bit_rate_bps() / 1000:.2f} kbps)")
+
+    for seq, value in delivered[:5]:
+        print(f"  reading {seq}: {value / 100:.2f} C")
+
+
+if __name__ == "__main__":
+    main()

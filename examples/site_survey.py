@@ -1,0 +1,56 @@
+"""Site survey: predicted SymBee performance across deployment sites.
+
+Plays the role of a deployment tool: given the calibrated scenario
+presets, it sweeps sender distance in each environment and reports
+throughput, BER and capture rate — the numbers an installer would use
+to place sensors (a miniature of the paper's Figures 13/14).
+
+    python examples/site_survey.py            # quick survey
+    REPRO_SCALE=5 python examples/site_survey.py   # tighter statistics
+"""
+
+import numpy as np
+
+from repro.channel.scenarios import SCENARIOS
+from repro.core import SymBeeLink
+from repro.experiments.common import measure_link, print_table, scaled
+
+
+def survey(distances=(5, 15, 25), n_frames=None, seed=31):
+    rng = np.random.default_rng(seed)
+    n_frames = scaled(15) if n_frames is None else n_frames
+    rows = []
+    for name, scenario in SCENARIOS.items():
+        for distance in distances:
+            link = SymBeeLink(
+                link_channel=scenario.link(distance),
+                interference=scenario.interference(),
+            )
+            stats = measure_link(link, rng, n_frames=n_frames, bits_per_frame=64)
+            rows.append(
+                (
+                    name,
+                    f"{distance} m",
+                    f"{stats.throughput_bps / 1000:.2f}",
+                    f"{stats.ber:.3f}",
+                    f"{stats.capture_rate:.2f}",
+                    f"{stats.mean_snr_db:.1f}",
+                )
+            )
+    return rows
+
+
+def main():
+    rows = survey()
+    print_table(
+        ("site", "distance", "kbps", "BER", "capture", "SNR dB"),
+        rows,
+        title="SymBee site survey",
+    )
+    usable = [r for r in rows if float(r[2]) > 20.0]
+    print(f"\n{len(usable)}/{len(rows)} site/distance combinations sustain "
+          ">20 kbps — compare with the 215 bps packet-level state of the art.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Trace-driven evaluation, the paper's §VIII-E workflow.
+
+The paper validates interference robustness by recording a clean SymBee
+capture and a WiFi capture on a USRP, then mixing them at controlled
+SINR offline.  This example runs the identical workflow on simulated
+traces: record → save to disk → reload → mix at a SINR sweep → decode —
+the loop a researcher extending SymBee would actually run.
+
+    python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SymBeeLink, capture_preamble
+from repro.dsp import load_capture, mix_at_sinr, save_capture
+from repro.experiments.common import print_table
+from repro.wifi import OfdmTransmitter
+
+
+def record_clean_trace(path, bits, seed=3):
+    """'Record' one clean SymBee capture and archive it with metadata."""
+    link = SymBeeLink(include_noise=False)
+    payload = link.encoder.encode_message(bits)
+    frame = link.transmitter.build_frame(payload)
+    waveform = link.transmitter.transmit_frame(frame)
+    baseband = link.front_end.downconvert(
+        waveform, link.transmitter.center_frequency
+    )
+    save_capture(
+        path,
+        baseband,
+        20e6,
+        metadata={
+            "system": "SymBee",
+            "bits": list(map(int, bits)),
+            "zigbee_channel": 13,
+            "wifi_channel": 1,
+            "seed": seed,
+        },
+    )
+    return link
+
+
+def main():
+    rng = np.random.default_rng(3)
+    bits = list(rng.integers(0, 2, 40))
+
+    with tempfile.TemporaryDirectory() as workdir:
+        trace_path = Path(workdir) / "symbee_clean.npz"
+        link = record_clean_trace(trace_path, bits)
+        print(f"recorded clean trace: {trace_path.name} "
+              f"({trace_path.stat().st_size / 1024:.0f} KiB)")
+
+        samples, rate, meta = load_capture(trace_path)
+        print(f"reloaded: {samples.size} samples @ {rate / 1e6:.0f} Msps, "
+              f"{len(meta['bits'])} bits of ground truth")
+
+        wifi_trace = OfdmTransmitter().burst(400e-6, rng)
+        rows = []
+        for sinr_db in (10.0, 3.0, 0.0, -3.0, -6.0):
+            mixed = mix_at_sinr(samples, wifi_trace, sinr_db, offset=14_000)
+            phases = link.decoder.phases(mixed)
+            pre = capture_preamble(phases, link.decoder)
+            if pre is None:
+                rows.append((f"{sinr_db:+.0f}", "capture failed", "-"))
+                continue
+            decoded = link.decoder.decode_synchronized(
+                phases, pre.data_start, len(meta["bits"])
+            )
+            errors = sum(
+                a != b for a, b in zip(decoded.bits, meta["bits"])
+            )
+            rows.append(
+                (f"{sinr_db:+.0f}", "ok", f"{errors}/{len(meta['bits'])}")
+            )
+        print_table(
+            ("SINR dB", "capture", "bit errors"),
+            rows,
+            title="trace-driven SINR sweep (one 400 us WiFi burst)",
+        )
+    print("\nSame method as the paper's Section VIII-E — reproducible from "
+          "archived traces without re-running the PHY.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+517 editable installs fail with "invalid command 'bdist_wheel'".  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` take
+the classic ``setup.py develop`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

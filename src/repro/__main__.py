@@ -1,0 +1,125 @@
+"""Command-line interface: reproduce any paper result from the shell.
+
+    python -m repro list                  # available experiments
+    python -m repro run fig13             # regenerate one table/figure
+    python -m repro run all               # the whole battery
+    python -m repro survey                # scenario site survey
+    python -m repro info                  # key constants and rates
+"""
+
+import argparse
+import sys
+
+
+def _cmd_list(_args):
+    from repro.experiments import EXPERIMENTS
+
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, experiment in EXPERIMENTS.items():
+        print(f"{eid.ljust(width)}  {experiment.title}")
+    return 0
+
+
+def _cmd_run(args):
+    from repro.experiments import EXPERIMENTS, get_experiment
+
+    if args.experiment == "all":
+        for experiment in EXPERIMENTS.values():
+            experiment.main()
+        return 0
+    try:
+        get_experiment(args.experiment).main()
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_survey(_args):
+    import numpy as np
+
+    from repro.channel.scenarios import SCENARIOS
+    from repro.core import SymBeeLink
+    from repro.experiments.common import measure_link, print_table, scaled
+
+    rng = np.random.default_rng(31)
+    rows = []
+    for name, scenario in SCENARIOS.items():
+        for distance in (5, 15, 25):
+            link = SymBeeLink(
+                link_channel=scenario.link(distance),
+                interference=scenario.interference(),
+            )
+            stats = measure_link(
+                link, rng, n_frames=scaled(15), bits_per_frame=64
+            )
+            rows.append(
+                (
+                    name,
+                    f"{distance} m",
+                    f"{stats.throughput_bps / 1000:.2f}",
+                    f"{stats.ber:.3f}",
+                    f"{stats.capture_rate:.2f}",
+                    f"{stats.mean_snr_db:.1f}",
+                )
+            )
+    print_table(
+        ("site", "distance", "kbps", "BER", "capture", "SNR dB"),
+        rows,
+        title="SymBee site survey",
+    )
+    return 0
+
+
+def _cmd_info(_args):
+    from repro import __version__
+    from repro.constants import (
+        SYMBEE_BIT_DURATION,
+        SYMBEE_RAW_BIT_RATE,
+        SYMBEE_STABLE_WINDOW_20MHZ,
+    )
+    from repro.core.analytics import (
+        packet_level_bandwidth_hz,
+        shannon_gain_factor,
+        speedup_versus,
+    )
+
+    print(f"repro {__version__} — SymBee (ICDCS 2018) reproduction")
+    print(f"raw bit rate:          {SYMBEE_RAW_BIT_RATE / 1000:.2f} kbps")
+    print(f"bit airtime:           {SYMBEE_BIT_DURATION * 1e6:.0f} us")
+    print(f"stable window:         {SYMBEE_STABLE_WINDOW_20MHZ} phase values @ 20 Msps")
+    print(f"packet-level bandwidth: {packet_level_bandwidth_hz():.1f} Hz")
+    print(f"symbol-level gain:     {shannon_gain_factor():.0f}x")
+    print(f"speedup vs C-Morse:    {speedup_versus(215.0):.1f}x")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SymBee reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments").set_defaults(
+        func=_cmd_list
+    )
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.set_defaults(func=_cmd_run)
+    sub.add_parser("survey", help="scenario site survey").set_defaults(
+        func=_cmd_survey
+    )
+    sub.add_parser("info", help="key constants and rates").set_defaults(
+        func=_cmd_info
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""EMF — Embedding Multiple Flows (Chi et al., INFOCOM'17; Figure 16).
+
+EMF piggybacks CTC information onto *existing* data traffic by shaping
+per-packet attributes; the observable used here is packet duration
+(payload padding), with several duration levels encoding a multi-bit
+symbol per packet.  Existing traffic is modelled as a data packet every
+``traffic_interval_s`` — the scheme cannot transmit faster than the
+legacy flow it embeds into, which is what caps packet-level rates.
+
+Defaults: 4 duration levels (2 bits) on a 50 Hz sensor flow = 100 bps.
+"""
+
+from repro.baselines.base import PacketEvent, PacketLevelCtc, events_in_order, quantize
+
+#: Shortest legacy data packet EMF can shape (the paper's minimal
+#: 18-byte ZigBee packet, 576 us on air).
+BASE_DURATION_S = 576e-6
+
+
+class Emf(PacketLevelCtc):
+    """Packet-duration modulation over existing traffic."""
+
+    name = "EMF"
+
+    def __init__(self, traffic_interval_s=0.020, duration_step_s=128e-6, bits_per_packet=2):
+        if traffic_interval_s <= 0 or duration_step_s <= 0:
+            raise ValueError("intervals must be positive")
+        if bits_per_packet < 1:
+            raise ValueError("need at least one bit per packet")
+        max_pad = (2 ** bits_per_packet - 1) * duration_step_s
+        if BASE_DURATION_S + max_pad >= traffic_interval_s:
+            raise ValueError("padded packet must fit inside the traffic interval")
+        self.traffic_interval_s = float(traffic_interval_s)
+        self.duration_step_s = float(duration_step_s)
+        self.bits_per_packet = int(bits_per_packet)
+
+    def _chunks(self, bits):
+        m = self.bits_per_packet
+        padded = list(bits) + [0] * ((-len(bits)) % m)
+        for start in range(0, len(padded), m):
+            chunk = padded[start : start + m]
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | int(bit)
+            yield value
+
+    def encode(self, bits, rng):
+        events = []
+        index = 0
+        for value in self._chunks(bits):
+            events.append(
+                PacketEvent(
+                    time_s=index * self.traffic_interval_s,
+                    duration_s=BASE_DURATION_S + value * self.duration_step_s,
+                )
+            )
+            index += 1
+        return events, index * self.traffic_interval_s
+
+    def decode(self, events):
+        bits = []
+        for event in events_in_order(events):
+            value = quantize(event.duration_s - BASE_DURATION_S, self.duration_step_s)
+            value = max(0, min(value, 2 ** self.bits_per_packet - 1))
+            bits.extend(
+                (value >> (self.bits_per_packet - 1 - i)) & 1
+                for i in range(self.bits_per_packet)
+            )
+        return bits

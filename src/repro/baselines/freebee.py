@@ -1,0 +1,125 @@
+"""FreeBee and A-FreeBee (Kim & He, MobiCom'15; paper Figure 16).
+
+FreeBee modulates the *timing* of periodic beacons that the network
+sends anyway: each beacon is shifted from its nominal epoch by a
+multiple of a timing quantum, and the shift encodes a small symbol.
+The WiFi side timestamps the beacon energy bursts and reads the shifts.
+
+Defaults: a 100 ms beacon interval (typical ZigBee coordinator setting)
+and 4 shift levels (2 bits per beacon) give 20 bps — consistent with the
+original paper's reported average of about 17.9 bps.
+
+A-FreeBee is the accelerated variant driving several interleaved beacon
+streams (here 3), tripling the rate at the cost of more beacon traffic.
+"""
+
+from repro.baselines.base import PacketEvent, PacketLevelCtc, events_in_order, quantize
+
+#: On-air time of one beacon frame (a short 802.15.4 frame).
+BEACON_DURATION_S = 640e-6
+
+
+class FreeBee(PacketLevelCtc):
+    """Beacon-timing modulation."""
+
+    name = "FreeBee"
+
+    def __init__(self, beacon_interval_s=0.100, shift_quantum_s=2e-3, bits_per_beacon=2):
+        if beacon_interval_s <= 0 or shift_quantum_s <= 0:
+            raise ValueError("intervals must be positive")
+        if bits_per_beacon < 1:
+            raise ValueError("need at least one bit per beacon")
+        max_shift = (2 ** bits_per_beacon - 1) * shift_quantum_s
+        if max_shift >= beacon_interval_s / 2:
+            raise ValueError("shift range must stay well inside the interval")
+        self.beacon_interval_s = float(beacon_interval_s)
+        self.shift_quantum_s = float(shift_quantum_s)
+        self.bits_per_beacon = int(bits_per_beacon)
+
+    def _chunks(self, bits):
+        m = self.bits_per_beacon
+        padded = list(bits) + [0] * ((-len(bits)) % m)
+        for start in range(0, len(padded), m):
+            chunk = padded[start : start + m]
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | int(bit)
+            yield value
+
+    def encode(self, bits, rng):
+        events = []
+        epoch = 0
+        for value in self._chunks(bits):
+            nominal = epoch * self.beacon_interval_s
+            events.append(
+                PacketEvent(
+                    time_s=nominal + value * self.shift_quantum_s,
+                    duration_s=BEACON_DURATION_S,
+                )
+            )
+            epoch += 1
+        return events, epoch * self.beacon_interval_s
+
+    def decode(self, events):
+        bits = []
+        for event in events_in_order(events):
+            epoch = int(round(event.time_s / self.beacon_interval_s - 0.25))
+            shift = event.time_s - epoch * self.beacon_interval_s
+            value = quantize(shift, self.shift_quantum_s)
+            value = max(0, min(value, 2 ** self.bits_per_beacon - 1))
+            bits.extend(
+                (value >> (self.bits_per_beacon - 1 - i)) & 1
+                for i in range(self.bits_per_beacon)
+            )
+        return bits
+
+
+class AFreeBee(FreeBee):
+    """Accelerated FreeBee: several interleaved beacon streams."""
+
+    name = "A-FreeBee"
+
+    def __init__(self, n_streams=3, **kwargs):
+        super().__init__(**kwargs)
+        if n_streams < 1:
+            raise ValueError("need at least one stream")
+        self.n_streams = int(n_streams)
+
+    def encode(self, bits, rng):
+        # Round-robin the beacon chunks over the streams; each stream keeps
+        # its own epoch grid offset so bursts don't collide.
+        values = list(self._chunks(bits))
+        events = []
+        stream_offset = self.beacon_interval_s / self.n_streams
+        for i, value in enumerate(values):
+            stream = i % self.n_streams
+            epoch = i // self.n_streams
+            nominal = epoch * self.beacon_interval_s + stream * stream_offset
+            events.append(
+                PacketEvent(
+                    time_s=nominal + value * self.shift_quantum_s,
+                    duration_s=BEACON_DURATION_S,
+                    stream=stream,
+                )
+            )
+        epochs = (len(values) + self.n_streams - 1) // self.n_streams
+        return events, epochs * self.beacon_interval_s
+
+    def decode(self, events):
+        stream_offset = self.beacon_interval_s / self.n_streams
+        decoded = {}
+        for event in events_in_order(events):
+            base = event.time_s - event.stream * stream_offset
+            epoch = int(round(base / self.beacon_interval_s - 0.25))
+            shift = base - epoch * self.beacon_interval_s
+            value = quantize(shift, self.shift_quantum_s)
+            value = max(0, min(value, 2 ** self.bits_per_beacon - 1))
+            decoded[epoch * self.n_streams + event.stream] = value
+        bits = []
+        for index in sorted(decoded):
+            value = decoded[index]
+            bits.extend(
+                (value >> (self.bits_per_beacon - 1 - i)) & 1
+                for i in range(self.bits_per_beacon)
+            )
+        return bits

@@ -1,0 +1,47 @@
+"""Radio channel models.
+
+These replace the paper's physical testbed sites: log-distance path loss
+with shadowing and walls, multipath fading with Doppler for mobility, and
+a WiFi interference traffic generator.  The named scenario presets map to
+the paper's six evaluation areas (Figure 15), the NLOS office layout
+(Figure 18), and the track-and-field mobility runs (Figure 23).
+"""
+
+from repro.channel.path_loss import (
+    FREE_SPACE_REFERENCE_LOSS_DB,
+    LogDistancePathLoss,
+    free_space_path_loss_db,
+)
+from repro.channel.fading import (
+    MultipathChannel,
+    RayleighBlockFading,
+    jakes_doppler_gain,
+    doppler_frequency_hz,
+)
+from repro.channel.interference import InterferenceBurst, WifiInterferenceModel
+from repro.channel.link import LinkChannel
+from repro.channel.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    nlos_office_positions,
+    mobility_scenario,
+)
+
+__all__ = [
+    "FREE_SPACE_REFERENCE_LOSS_DB",
+    "LogDistancePathLoss",
+    "free_space_path_loss_db",
+    "MultipathChannel",
+    "RayleighBlockFading",
+    "jakes_doppler_gain",
+    "doppler_frequency_hz",
+    "InterferenceBurst",
+    "WifiInterferenceModel",
+    "LinkChannel",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "nlos_office_positions",
+    "mobility_scenario",
+]

@@ -1,0 +1,59 @@
+"""Composite link channel: path loss + multipath + Doppler.
+
+One :class:`LinkChannel` models everything between a transmitter's
+antenna and a receiver's antenna for a single link.  Receiver noise and
+co-channel interference are *not* applied here — the WiFi front end owns
+its own noise floor and interference arrives as separate capture
+contributions — so the pieces compose without double counting.
+"""
+
+import numpy as np
+
+from repro.channel.fading import MultipathChannel, doppler_frequency_hz, jakes_doppler_gain
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.constants import WIFI_SAMPLE_RATE_20MHZ
+from repro.dsp.signal_ops import db_to_linear
+
+
+class LinkChannel:
+    """Applies one channel realization per packet."""
+
+    def __init__(
+        self,
+        path_loss=None,
+        distance_m=5.0,
+        multipath=None,
+        speed_m_s=0.0,
+        sample_rate=WIFI_SAMPLE_RATE_20MHZ,
+    ):
+        self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        self.distance_m = float(distance_m)
+        self.multipath = multipath
+        self.speed_m_s = float(speed_m_s)
+        self.sample_rate = float(sample_rate)
+        if multipath is not None and not isinstance(multipath, MultipathChannel):
+            raise TypeError("multipath must be a MultipathChannel or None")
+
+    def mean_received_power_dbm(self, tx_power_dbm):
+        """RSS without shadowing — the link budget's centre value."""
+        return tx_power_dbm - self.path_loss.mean_loss_db(self.distance_m)
+
+    def apply(self, waveform, rng):
+        """One realization: returns the waveform as seen at the RX antenna.
+
+        The input carries the transmit power convention (mean |x|^2 in
+        watts); the output carries received power in the same units.
+        Small-scale gains are unit-mean-power so the average budget is set
+        purely by the path-loss model.
+        """
+        waveform = np.asarray(waveform)
+        loss_db = self.path_loss.sample_loss_db(self.distance_m, rng)
+        out = waveform * np.sqrt(db_to_linear(-loss_db))
+        if self.multipath is not None:
+            out = self.multipath.apply(out, rng)
+        if self.speed_m_s > 0.0:
+            fd = doppler_frequency_hz(self.speed_m_s)
+            out = out * jakes_doppler_gain(out.size, self.sample_rate, fd, rng)
+        return out

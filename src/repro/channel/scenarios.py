@@ -1,0 +1,202 @@
+"""Named evaluation environments (paper Figures 15, 18, 23).
+
+Each preset bundles a propagation profile and a WiFi interference profile.
+The parameters are calibrated so the SNR/SINR statistics at the receiver
+reproduce the *ordering and rough magnitudes* of the paper's measured
+throughput and BER (outdoor cleanest; classroom, office, dormitory in the
+middle; library and mall worst).  Absolute numbers are documented in
+EXPERIMENTS.md; provenance of each parameter choice is in the field
+comments below.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.channel.fading import MultipathChannel
+from repro.channel.interference import WifiInterferenceModel
+from repro.channel.link import LinkChannel
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.constants import WIFI_SAMPLE_RATE_20MHZ
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible evaluation environment.
+
+    ``path_loss_exponent`` / ``shadowing_sigma_db`` follow standard 2.4 GHz
+    survey values (free space ~2, open indoor 2.7-3.0, cluttered indoor
+    3.0-3.5).  ``interference_duty`` and the SIR distribution encode how
+    busy the surrounding WiFi was in the paper's description of each site.
+    ``delay_spread_ns`` sets indoor multipath severity; ``k_factor`` the
+    Rician line-of-sight strength.
+    """
+
+    name: str
+    description: str
+    path_loss_exponent: float
+    shadowing_sigma_db: float
+    interference_duty: float
+    interference_power_dbm: float = -70.0
+    interference_power_sigma_db: float = 6.0
+    delay_spread_ns: float = 0.0
+    k_factor: float = 8.0
+    wall_loss_db: float = 0.0
+    speed_m_s: float = 0.0
+
+    def link(self, distance_m, sample_rate=WIFI_SAMPLE_RATE_20MHZ):
+        """Build the :class:`LinkChannel` for a sender at ``distance_m``."""
+        path_loss = LogDistancePathLoss(
+            exponent=self.path_loss_exponent,
+            shadowing_sigma_db=self.shadowing_sigma_db,
+            wall_loss_db=self.wall_loss_db,
+        )
+        multipath = None
+        if self.delay_spread_ns > 0:
+            multipath = MultipathChannel(
+                self.delay_spread_ns * 1e-9, sample_rate, k_factor=self.k_factor
+            )
+        return LinkChannel(
+            path_loss=path_loss,
+            distance_m=distance_m,
+            multipath=multipath,
+            speed_m_s=self.speed_m_s,
+            sample_rate=sample_rate,
+        )
+
+    def interference(self, sample_rate=WIFI_SAMPLE_RATE_20MHZ):
+        """WiFi traffic model for this environment (None when idle)."""
+        if self.interference_duty == 0.0:
+            return None
+        return WifiInterferenceModel(
+            duty_cycle=self.interference_duty,
+            mean_power_dbm=self.interference_power_dbm,
+            power_sigma_db=self.interference_power_sigma_db,
+            sample_rate=sample_rate,
+        )
+
+
+#: The six evaluation areas of the paper's Figure 15, ordered as plotted.
+SCENARIOS = {
+    "outdoor": Scenario(
+        name="outdoor",
+        description="Open field; no obstacles, no co-channel WiFi.",
+        path_loss_exponent=2.1,   # near free space
+        shadowing_sigma_db=3.0,
+        interference_duty=0.0,
+        delay_spread_ns=0.0,
+        k_factor=30.0,
+    ),
+    "classroom": Scenario(
+        name="classroom",
+        description="Large room, light campus WiFi (2nd best in the paper).",
+        path_loss_exponent=2.6,
+        shadowing_sigma_db=4.0,
+        interference_duty=0.05,
+        interference_power_dbm=-74.0,
+        delay_spread_ns=30.0,
+        k_factor=10.0,
+    ),
+    "office": Scenario(
+        name="office",
+        description="Wired desktops, few private APs (paper: >= 26.9 kbps).",
+        path_loss_exponent=2.9,
+        shadowing_sigma_db=5.0,
+        interference_duty=0.08,
+        interference_power_dbm=-70.0,
+        delay_spread_ns=40.0,
+        k_factor=8.0,
+    ),
+    "dormitory": Scenario(
+        name="dormitory",
+        description="Mild private-AP traffic during the experiment.",
+        path_loss_exponent=3.0,
+        shadowing_sigma_db=5.0,
+        interference_duty=0.12,
+        interference_power_dbm=-68.0,
+        delay_spread_ns=50.0,
+        k_factor=6.0,
+    ),
+    "library": Scenario(
+        name="library",
+        description="Everyone on campus WiFi; heavy interference.",
+        path_loss_exponent=3.0,
+        shadowing_sigma_db=5.5,
+        interference_duty=0.20,
+        interference_power_dbm=-67.0,
+        delay_spread_ns=60.0,
+        k_factor=5.0,
+    ),
+    "mall": Scenario(
+        name="mall",
+        description="Shopper blockage plus many store APs; worst site.",
+        path_loss_exponent=3.2,
+        shadowing_sigma_db=5.5,
+        interference_duty=0.25,
+        interference_power_dbm=-69.0,
+        interference_power_sigma_db=7.0,
+        delay_spread_ns=80.0,
+        k_factor=4.0,
+    ),
+}
+
+
+def get_scenario(name):
+    """Look up a preset by name; raises ``KeyError`` with the valid names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        valid = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; valid: {valid}") from None
+
+
+def nlos_office_positions():
+    """The four sender positions of the paper's Figure 18.
+
+    Returns ``{position: (distance_m, walls)}``.  S1 is closest with a
+    clear corridor; S2 is farther but through one wall; S3 is closer than
+    S2 yet behind two walls (the paper highlights that S3 underperforms
+    S2); S4 is farthest with two walls.  Each wall costs ~5 dB at 2.4 GHz
+    (interior drywall/office partition).
+    """
+    return {
+        "S1": (6.0, 0),
+        "S2": (15.0, 1),
+        "S3": (12.0, 2),
+        "S4": (20.0, 2),
+    }
+
+
+def nlos_office_scenario(walls, wall_loss_db_per_wall=7.0):
+    """Office preset with ``walls`` interior walls added to the budget."""
+    base = SCENARIOS["office"]
+    return replace(
+        base,
+        name=f"office-nlos-{walls}walls",
+        wall_loss_db=walls * wall_loss_db_per_wall,
+    )
+
+
+#: Speeds of the paper's Figure 23 mobility runs, in miles per hour.
+MOBILITY_SPEEDS_MPH = {"walking": 3.4, "running": 5.3, "bicycle": 9.3}
+
+
+def mobility_scenario(speed_mph, body_loss_db=13.0):
+    """Track-and-field mobility: outdoor propagation plus body blockage.
+
+    The moving sender adds Doppler fading and the carrier's body/bag
+    blockage (the paper blames "blockage and vibration of bag, physical
+    body and bicycle" for the mobile BER).  A human body costs on the
+    order of 10-15 dB at 2.4 GHz and scatters the line of sight, hence
+    the fixed ``body_loss_db`` budget and the low Rician K.
+    """
+    if speed_mph <= 0:
+        raise ValueError("speed must be positive")
+    base = SCENARIOS["outdoor"]
+    return replace(
+        base,
+        name=f"mobile-{speed_mph}mph",
+        speed_m_s=speed_mph * 0.44704,
+        shadowing_sigma_db=4.0,
+        delay_spread_ns=30.0,
+        k_factor=1.0,
+        wall_loss_db=body_loss_db,
+    )

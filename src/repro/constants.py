@@ -1,0 +1,126 @@
+"""Physical-layer constants shared across the SymBee reproduction.
+
+All durations are in seconds, frequencies in Hz, and powers in dBm unless a
+name says otherwise.  The values are fixed by the IEEE 802.15.4 (2.4 GHz
+O-QPSK PHY) and IEEE 802.11 standards, plus the SymBee paper's operating
+points (Sections IV-C, V, VI-B).
+"""
+
+import math
+
+# --- 802.15.4 O-QPSK PHY (2.4 GHz band) ------------------------------------
+
+#: Aggregate chip rate of the 2.4 GHz O-QPSK PHY.
+ZIGBEE_CHIP_RATE = 2_000_000.0
+
+#: Chip period at the aggregate chip rate (0.5 us).
+ZIGBEE_CHIP_PERIOD = 1.0 / ZIGBEE_CHIP_RATE
+
+#: Duration of one half-sine pulse on the I or Q branch (1 us).  Even chips
+#: feed the in-phase branch and odd chips the quadrature branch, so each
+#: branch runs at 1 Mchip/s.
+ZIGBEE_PULSE_DURATION = 2.0 * ZIGBEE_CHIP_PERIOD
+
+#: Chips per data symbol (DSSS spreading factor).
+ZIGBEE_CHIPS_PER_SYMBOL = 32
+
+#: Bits carried by one ZigBee symbol.
+ZIGBEE_BITS_PER_SYMBOL = 4
+
+#: Duration of one ZigBee symbol: 32 chips at 2 Mchip/s = 16 us.
+ZIGBEE_SYMBOL_DURATION = ZIGBEE_CHIPS_PER_SYMBOL * ZIGBEE_CHIP_PERIOD
+
+#: ZigBee symbol rate (62.5 ksym/s).
+ZIGBEE_SYMBOL_RATE = 1.0 / ZIGBEE_SYMBOL_DURATION
+
+#: ZigBee PHY bit rate (250 kbps).
+ZIGBEE_BIT_RATE = ZIGBEE_SYMBOL_RATE * ZIGBEE_BITS_PER_SYMBOL
+
+#: Occupied bandwidth of a ZigBee channel.
+ZIGBEE_BANDWIDTH = 2_000_000.0
+
+#: Channel spacing in the 2.4 GHz band.
+ZIGBEE_CHANNEL_SPACING = 5_000_000.0
+
+#: Maximum MAC payload accepted by the PHY (aMaxPHYPacketSize).
+ZIGBEE_MAX_PSDU = 127
+
+# --- 802.11 (WiFi) ----------------------------------------------------------
+
+#: Baseband sample rate of a 20 MHz WiFi receiver (Nyquist rate).
+WIFI_SAMPLE_RATE_20MHZ = 20_000_000.0
+
+#: Baseband sample rate of a 40 MHz (802.11n) WiFi receiver.
+WIFI_SAMPLE_RATE_40MHZ = 40_000_000.0
+
+#: Autocorrelation lag of the idle-listening module: the WiFi Short Training
+#: Sequence repeats every 0.8 us, i.e. 16 samples at 20 Msps.
+WIFI_STS_PERIOD_SECONDS = 0.8e-6
+
+#: Lag in samples at 20 Msps.
+WIFI_AUTOCORR_LAG_20MHZ = 16
+
+#: Lag in samples at 40 Msps.
+WIFI_AUTOCORR_LAG_40MHZ = 32
+
+#: Total duration of the legacy Short Training Field (10 repetitions).
+WIFI_STF_DURATION = 8e-6
+
+# --- SymBee operating points (paper Sections IV-C, V, VI-B) -----------------
+
+#: ZigBee symbols per SymBee bit: one payload byte = two symbols.
+SYMBEE_SYMBOLS_PER_BIT = 2
+
+#: Duration of one SymBee bit (two ZigBee symbols = 32 us).
+SYMBEE_BIT_DURATION = SYMBEE_SYMBOLS_PER_BIT * ZIGBEE_SYMBOL_DURATION
+
+#: Raw SymBee bit rate: 1 bit / 32 us = 31.25 kbps (paper Section VII).
+SYMBEE_RAW_BIT_RATE = 1.0 / SYMBEE_BIT_DURATION
+
+#: Samples spanned by one SymBee bit at a 20 Msps WiFi receiver.
+SYMBEE_BIT_PERIOD_20MHZ = 640
+
+#: Samples spanned by one SymBee bit at a 40 Msps WiFi receiver.
+SYMBEE_BIT_PERIOD_40MHZ = 1280
+
+#: Length of the stable-phase plateau at 20 Msps (4.2 us, paper Section IV-C).
+SYMBEE_STABLE_WINDOW_20MHZ = 84
+
+#: Length of the stable-phase plateau at 40 Msps (paper Section VI-B).
+SYMBEE_STABLE_WINDOW_40MHZ = 168
+
+#: Magnitude of the stable phase difference produced by (6,7)/(E,F).
+SYMBEE_STABLE_PHASE = 4.0 * math.pi / 5.0
+
+#: Default error-tolerance threshold for unsynchronized decoding (paper
+#: Section IV-C: "in our experiment tau is set to be 10").
+SYMBEE_DEFAULT_TAU = 10
+
+#: Majority-voting threshold for synchronized decoding (paper Section V).
+SYMBEE_TAU_SYNC = 42
+
+#: Number of repeated bit-0s forming the SymBee preamble (paper Section V).
+SYMBEE_PREAMBLE_BITS = 4
+
+#: ZigBee symbol pair conveying SymBee bit 1 (stable phase +4pi/5).
+SYMBEE_BIT1_SYMBOLS = (0x6, 0x7)
+
+#: ZigBee symbol pair conveying SymBee bit 0 (stable phase -4pi/5).
+SYMBEE_BIT0_SYMBOLS = (0xE, 0xF)
+
+# --- Radio link defaults ----------------------------------------------------
+
+#: Thermal noise power spectral density at 290 K.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+#: Default receiver noise figure in dB.
+DEFAULT_NOISE_FIGURE_DB = 6.0
+
+#: Default / maximum ZigBee transmit power (paper uses 0 dBm).
+DEFAULT_TX_POWER_DBM = 0.0
+
+#: Speed of light, for Doppler computations.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Centre of the 2.4 GHz ISM band, used for free-space reference loss.
+ISM_BAND_CENTER_HZ = 2.44e9

@@ -1,0 +1,183 @@
+"""Link adaptation on top of SymBee (extension beyond the paper).
+
+The paper's decoder throws away useful soft information: each decoded
+bit comes with a vote count out of 84 whose distance from the 42-vote
+boundary measures link quality.  This module turns those counts into a
+live BER estimate and drives a simple rate-adaptation policy — enable
+Hamming(7,4) (paying the 4/7 rate) only when the estimated BER says the
+coding gain is worth it.  This is the natural "link layer coding" follow
+up the paper's Section VIII-E gestures at.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.constants import SYMBEE_STABLE_WINDOW_20MHZ
+from repro.core.analytics import ber_from_phase_error
+from repro.core.coding import code_rate
+
+
+class LinkQualityEstimator:
+    """Estimates per-value phase error probability from vote counts.
+
+    A bit decoded as 1 with ``count`` nonnegative votes out of ``window``
+    had ``window - count`` erroneous values (and symmetrically for 0), so
+    the pooled error fraction across bits estimates Pr_eps, from which
+    Eq. 2 gives the operating BER.
+    """
+
+    def __init__(self, window=SYMBEE_STABLE_WINDOW_20MHZ):
+        self.window = int(window)
+        self._errors = 0
+        self._values = 0
+
+    def observe(self, decoded_bits, counts):
+        """Fold one frame's decode into the estimate."""
+        for bit, count in zip(decoded_bits, counts):
+            errors = (self.window - count) if bit == 1 else count
+            self._errors += int(errors)
+            self._values += self.window
+
+    @property
+    def samples(self):
+        return self._values
+
+    @property
+    def phase_error_probability(self):
+        """Pooled Pr_eps estimate (0.5 prior when unobserved)."""
+        if self._values == 0:
+            return 0.5
+        return self._errors / self._values
+
+    @property
+    def estimated_ber(self):
+        """Eq.-2 BER implied by the current Pr_eps estimate."""
+        return ber_from_phase_error(
+            min(self.phase_error_probability, 1.0), window=self.window
+        )
+
+    def confidence_interval(self, level=0.95):
+        """Wilson interval on Pr_eps."""
+        if self._values == 0:
+            return (0.0, 1.0)
+        z = stats.norm.ppf(0.5 + level / 2.0)
+        n, p = self._values, self.phase_error_probability
+        denom = 1 + z**2 / n
+        centre = (p + z**2 / (2 * n)) / denom
+        margin = z * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2)) / denom
+        return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+    def reset(self):
+        self._errors = 0
+        self._values = 0
+
+
+@dataclass(frozen=True)
+class CodingDecision:
+    """What the policy chose and why."""
+
+    use_coding: bool
+    estimated_ber: float
+    goodput_uncoded: float      # expected delivered data bits per airtime bit
+    goodput_coded: float
+    #: Selected scheme name when using :class:`AdaptiveFec` ("uncoded",
+    #: "hamming" or "conv"); the binary policy leaves it implied.
+    scheme: str = ""
+
+
+class AdaptiveCoding:
+    """Chooses Hamming(7,4) on/off to maximize expected *frame* goodput.
+
+    Frames are all-or-nothing (the CRC rejects any residual error), so
+    per airtime bit the uncoded link delivers ``(1-BER)^L`` and the coded
+    link ``(4/7) * block_ok^(L/4)`` with ``block_ok`` the probability a
+    (7,4) block survives (at most one of its 7 bits errs).  Rate-4/7
+    never wins a *per-bit* comparison — its value is exactly that frames
+    survive, which is why the policy reasons at frame granularity.
+    """
+
+    def __init__(self, frame_bits=48, min_samples=84 * 8):
+        if frame_bits <= 0 or frame_bits % 4 != 0:
+            raise ValueError("frame_bits must be a positive multiple of 4")
+        #: Data bits per frame the link transports.
+        self.frame_bits = int(frame_bits)
+        #: Votes to accumulate before trusting the estimate.
+        self.min_samples = int(min_samples)
+
+    def _uncoded_goodput(self, ber):
+        return (1.0 - ber) ** self.frame_bits
+
+    def _coded_goodput(self, ber):
+        block_ok = (1 - ber) ** 7 + 7 * ber * (1 - ber) ** 6
+        return code_rate() * block_ok ** (self.frame_bits // 4)
+
+    def decide(self, estimator):
+        """Policy decision from the current estimate.
+
+        Before enough evidence accumulates the safe default is coding on
+        (robustness first, as the paper's Figure 21 recommends).
+        """
+        ber = estimator.estimated_ber
+        uncoded = self._uncoded_goodput(ber)
+        coded = self._coded_goodput(ber)
+        if estimator.samples < self.min_samples:
+            return CodingDecision(
+                use_coding=True,
+                estimated_ber=ber,
+                goodput_uncoded=uncoded,
+                goodput_coded=coded,
+            )
+        return CodingDecision(
+            use_coding=coded > uncoded,
+            estimated_ber=ber,
+            goodput_uncoded=uncoded,
+            goodput_coded=coded,
+        )
+
+
+class AdaptiveFec(AdaptiveCoding):
+    """Three-way scheme selection: uncoded / Hamming(7,4) / K=7 conv.
+
+    Extends the binary policy with the rate-1/2 convolutional option
+    (:mod:`repro.core.convolutional`).  Post-Viterbi error probability is
+    approximated with the dominant union-bound term for the 133/171 code
+    (free distance 10, multiplicity 11, hard decisions):
+
+        p_out ~= 11 * (2 * sqrt(p (1 - p)))^10,
+
+    accurate in the waterfall region where the decision actually matters.
+    """
+
+    #: Free distance and its multiplicity for the K=7 133/171 code.
+    _D_FREE = 10
+    _A_DFREE = 11
+
+    def _conv_goodput(self, ber):
+        p = min(max(ber, 0.0), 0.5)
+        z = 2.0 * np.sqrt(p * (1.0 - p))
+        p_out = min(1.0, self._A_DFREE * z**self._D_FREE)
+        frame_ok = (1.0 - p_out) ** self.frame_bits
+        return 0.5 * frame_ok
+
+    def decide(self, estimator):
+        ber = estimator.estimated_ber
+        options = {
+            "uncoded": self._uncoded_goodput(ber),
+            "hamming": self._coded_goodput(ber),
+            "conv": self._conv_goodput(ber),
+        }
+        if estimator.samples < self.min_samples:
+            scheme = "conv"  # robustness-first default
+        else:
+            scheme = max(options, key=options.get)
+        return CodingDecision(
+            use_coding=scheme != "uncoded",
+            estimated_ber=ber,
+            goodput_uncoded=options["uncoded"],
+            goodput_coded=options[scheme] if scheme != "uncoded" else max(
+                options["hamming"], options["conv"]
+            ),
+            scheme=scheme,
+        )

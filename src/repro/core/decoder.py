@@ -1,0 +1,157 @@
+"""SymBee decoding at the WiFi receiver (paper Sections IV-C, V, VI-B).
+
+Two modes, both operating on the idle-listening phase stream:
+
+* **Unsynchronized** (Section IV-C): slide a window of 84 phase values
+  (168 at 40 Msps); if at least ``84 - tau`` are negative the window holds
+  a SymBee bit 0, if at least ``84 - tau`` are nonnegative a bit 1, else
+  nothing.  Consecutive firing windows belonging to the same plateau are
+  clustered into one detection.
+* **Synchronized** (Section V): once the preamble fixes bit timing, only
+  the 84 samples at each expected bit position are examined and decoding
+  becomes majority voting with ``tau_sync = 42`` (half the window).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    SYMBEE_BIT_PERIOD_20MHZ,
+    SYMBEE_DEFAULT_TAU,
+    SYMBEE_STABLE_PHASE,
+    SYMBEE_STABLE_WINDOW_20MHZ,
+    WIFI_AUTOCORR_LAG_20MHZ,
+    WIFI_SAMPLE_RATE_20MHZ,
+)
+from repro.core.phase import compensate_cfo
+from repro.dsp.runs import sliding_count
+from repro.wifi.idle_listening import phase_differences
+
+
+@dataclass(frozen=True)
+class BitDetection:
+    """One unsynchronized bit detection.
+
+    ``index`` is the first phase-stream index of the qualifying window
+    cluster; ``count`` is the cluster's extreme nonnegative count (high
+    for bit 1, low for bit 0).
+    """
+
+    index: int
+    bit: int
+    count: int
+
+
+@dataclass(frozen=True)
+class SyncDecodeResult:
+    """Synchronized decode of a run of bits at fixed spacing."""
+
+    bits: tuple
+    counts: tuple          # nonnegative phase values per bit window
+    positions: tuple       # phase-stream index of each bit window
+
+
+class SymBeeDecoder:
+    """Thresholding decoder over the recycled idle-listening phases."""
+
+    def __init__(
+        self,
+        sample_rate=WIFI_SAMPLE_RATE_20MHZ,
+        tau=None,
+        tau_sync=None,
+        cfo_correction=SYMBEE_STABLE_PHASE,
+    ):
+        scale = sample_rate / WIFI_SAMPLE_RATE_20MHZ
+        if scale not in (1.0, 2.0):
+            raise ValueError("sample_rate must be 20 or 40 Msps")
+        scale = int(scale)
+        self.sample_rate = float(sample_rate)
+        #: Autocorrelation lag (16 at 20 Msps, 32 at 40 Msps).
+        self.lag = WIFI_AUTOCORR_LAG_20MHZ * scale
+        #: Stable-plateau window length (84 / 168).
+        self.window = SYMBEE_STABLE_WINDOW_20MHZ * scale
+        #: Phase samples between consecutive SymBee bits (640 / 1280).
+        self.bit_period = SYMBEE_BIT_PERIOD_20MHZ * scale
+        #: Error tolerance of the unsynchronized detector; the paper's
+        #: operating point (tau = 10 at 20 Msps) scales with the window.
+        self.tau = SYMBEE_DEFAULT_TAU * scale if tau is None else int(tau)
+        if not 0 <= self.tau < self.window // 2:
+            raise ValueError("tau must be in [0, window/2)")
+        #: Majority threshold for synchronized decoding (window / 2).
+        self.tau_sync = self.window // 2 if tau_sync is None else int(tau_sync)
+        #: Appendix-B constant added to every phase before thresholding;
+        #: ``None`` disables compensation (already-compensated input).
+        self.cfo_correction = cfo_correction
+
+    # -- phase extraction ---------------------------------------------------
+
+    def phases(self, samples):
+        """Compensated dp stream for a baseband capture."""
+        dp = phase_differences(samples, self.lag)
+        if self.cfo_correction is None or self.cfo_correction == 0.0:
+            return dp
+        return compensate_cfo(dp, self.cfo_correction)
+
+    # -- unsynchronized detection (Section IV-C) -----------------------------
+
+    def detect_bits(self, phases, tau=None):
+        """All unsynchronized bit detections in a phase stream.
+
+        A window fires for bit 1 when its nonnegative count is at least
+        ``window - tau`` and for bit 0 when the count is at most ``tau``.
+        Windows firing for the same bit value within one plateau (gaps
+        smaller than the window) merge into a single :class:`BitDetection`
+        anchored at the cluster's first index.
+        """
+        tau = self.tau if tau is None else int(tau)
+        phases = np.asarray(phases)
+        counts = sliding_count(phases >= 0, self.window)
+        if counts.size == 0:
+            return []
+        detections = []
+        for bit, firing in (
+            (1, counts >= self.window - tau),
+            (0, counts <= tau),
+        ):
+            indices = np.flatnonzero(firing)
+            if indices.size == 0:
+                continue
+            splits = np.flatnonzero(np.diff(indices) > self.window) + 1
+            for cluster in np.split(indices, splits):
+                extreme = counts[cluster].max() if bit == 1 else counts[cluster].min()
+                detections.append(
+                    BitDetection(index=int(cluster[0]), bit=bit, count=int(extreme))
+                )
+        detections.sort(key=lambda d: d.index)
+        return detections
+
+    def decode_unsynchronized(self, phases, tau=None):
+        """Bit sequence read off the detection stream, in time order."""
+        return [d.bit for d in self.detect_bits(phases, tau=tau)]
+
+    # -- synchronized decoding (Section V) -----------------------------------
+
+    def decode_synchronized(self, phases, first_bit_index, n_bits):
+        """Majority-vote decode of ``n_bits`` starting at a known index.
+
+        ``first_bit_index`` is the phase-stream index where the first
+        bit's stable window starts (the preamble capture provides it);
+        subsequent bits are ``bit_period`` apart.  Bits whose window runs
+        past the end of the stream are dropped.
+        """
+        phases = np.asarray(phases)
+        nonneg = phases >= 0
+        bits, counts, positions = [], [], []
+        for k in range(n_bits):
+            start = first_bit_index + k * self.bit_period
+            end = start + self.window
+            if start < 0 or end > phases.size:
+                break
+            count = int(nonneg[start:end].sum())
+            bits.append(1 if count >= self.tau_sync else 0)
+            counts.append(count)
+            positions.append(start)
+        return SyncDecodeResult(
+            bits=tuple(bits), counts=tuple(counts), positions=tuple(positions)
+        )

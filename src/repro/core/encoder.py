@@ -1,0 +1,86 @@
+"""SymBee payload encoding — the ZigBee-side half of the CTC.
+
+Encoding is deliberately trivial (that is the paper's point): every
+SymBee bit becomes one payload byte whose two nibbles are the ZigBee
+symbol pair (6,7) for bit 1 or (E,F) for bit 0.  Any commodity ZigBee
+stack can do this from application code.
+"""
+
+from repro.constants import (
+    SYMBEE_BIT0_SYMBOLS,
+    SYMBEE_BIT1_SYMBOLS,
+    SYMBEE_PREAMBLE_BITS,
+)
+from repro.zigbee.symbols import bytes_to_symbols, symbols_to_bytes
+
+#: The SymBee preamble: four consecutive bit 0 (paper Section V).
+PREAMBLE_BITS = (0,) * SYMBEE_PREAMBLE_BITS
+
+
+class SymBeeEncoder:
+    """Bits -> ZigBee payload bytes (and back, for the ZigBee-side decode).
+
+    ``nibble_order`` controls which byte value produces the on-air symbol
+    order; ``"low-first"`` (the 802.15.4 standard) yields 0x76/0xFE,
+    ``"high-first"`` yields the paper's printed 0x67/0xEF.  The on-air
+    symbols — and thus everything the WiFi side sees — are identical.
+    """
+
+    def __init__(self, nibble_order="low-first"):
+        if nibble_order not in ("low-first", "high-first"):
+            raise ValueError(f"unknown nibble_order: {nibble_order!r}")
+        self.nibble_order = nibble_order
+        self._bit_bytes = {
+            0: symbols_to_bytes(list(SYMBEE_BIT0_SYMBOLS), nibble_order)[0],
+            1: symbols_to_bytes(list(SYMBEE_BIT1_SYMBOLS), nibble_order)[0],
+        }
+        self._byte_bits = {v: k for k, v in self._bit_bytes.items()}
+
+    def byte_for_bit(self, bit):
+        """The payload byte encoding one SymBee bit."""
+        try:
+            return self._bit_bytes[int(bit)]
+        except KeyError:
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}") from None
+
+    def encode_bits(self, bits):
+        """One payload byte per SymBee bit, no preamble added."""
+        return bytes(self.byte_for_bit(b) for b in bits)
+
+    def encode_message(self, bits, include_preamble=True):
+        """Payload for a SymBee transmission: preamble then message bits."""
+        prefix = PREAMBLE_BITS if include_preamble else ()
+        return self.encode_bits(list(prefix) + list(bits))
+
+    def decode_payload(self, payload):
+        """ZigBee-side decode (paper Section VI-A, cross-tech broadcast).
+
+        A standard ZigBee node receives the packet normally and maps each
+        payload byte back to a SymBee bit at the application layer.
+        Returns ``None`` if any byte is not a SymBee codeword; callers
+        wanting partial decodes should filter bytes themselves.
+        """
+        bits = []
+        for byte in bytes(payload):
+            if byte not in self._byte_bits:
+                return None
+            bits.append(self._byte_bits[byte])
+        return bits
+
+    def find_preamble(self, payload):
+        """Index of the SymBee preamble in a received ZigBee payload.
+
+        Searches for four consecutive bit-0 bytes and returns the index of
+        the first message byte after them, or ``None``.
+        """
+        payload = bytes(payload)
+        needle = bytes([self._bit_bytes[0]] * len(PREAMBLE_BITS))
+        index = payload.find(needle)
+        if index < 0:
+            return None
+        return index + len(needle)
+
+    def symbols_for_bit(self, bit):
+        """The ZigBee symbol pair a bit maps to (for tests/inspection)."""
+        byte = self.byte_for_bit(bit)
+        return tuple(bytes_to_symbols(bytes([byte]), self.nibble_order))

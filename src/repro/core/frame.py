@@ -1,0 +1,124 @@
+"""SymBee frame format.
+
+The paper fixes only the budget ("maximum payload to 127 including 2
+bytes control information, 1 byte data sequence and 2 bytes check sum",
+Section VIII); the exact layout is this reproduction's choice, recorded
+in DESIGN.md Section 2.  The over-the-air SymBee frame, one bit per
+ZigBee payload byte, is::
+
+    | preamble 4 bits (0000) | control 16 bits | sequence 8 bits
+    | data bits (variable)   | CRC-16 over header+data |
+
+control = version (4 bits) | frame type (4 bits) | data length in bits
+(8 bits).  The CRC is the same ITU-T CRC-16 the 802.15.4 FCS uses,
+computed over the packed header+data bits.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.encoder import PREAMBLE_BITS
+from repro.zigbee.crc import crc16_itut
+
+#: Protocol version carried in every frame.
+VERSION = 1
+
+#: Frame types: application data, channel-coordination control, ACK.
+FRAME_TYPE_DATA = 0
+FRAME_TYPE_CONTROL = 1
+FRAME_TYPE_ACK = 2
+
+_HEADER_BITS = 24  # control(16) + sequence(8)
+_CRC_BITS = 16
+
+#: Data-bit capacity when the whole frame must fit one ZigBee MAC payload
+#: (116 bytes): 116 - 4 (preamble) - 24 (header) - 16 (CRC).
+MAX_DATA_BITS = 116 - len(PREAMBLE_BITS) - _HEADER_BITS - _CRC_BITS
+
+
+def _int_to_bits(value, width):
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def _bits_to_int(bits):
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def _pack_bits(bits):
+    """MSB-first packing into bytes, zero-padded to a byte boundary."""
+    bits = list(bits)
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        chunk = bits[start : start + 8]
+        chunk += [0] * (8 - len(chunk))
+        out.append(_bits_to_int(chunk))
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class SymBeeFrame:
+    """A parsed SymBee frame."""
+
+    data_bits: tuple
+    sequence: int
+    frame_type: int = FRAME_TYPE_DATA
+    version: int = VERSION
+    crc_ok: bool = True
+
+
+def build_frame_bits(data_bits, sequence, frame_type=FRAME_TYPE_DATA):
+    """Frame bits (without preamble — the encoder prepends that)."""
+    data_bits = [int(b) for b in data_bits]
+    if any(b not in (0, 1) for b in data_bits):
+        raise ValueError("data bits must be 0/1")
+    if len(data_bits) > 255:
+        raise ValueError("data length field is 8 bits (max 255 bits)")
+    if not 0 <= sequence <= 0xFF:
+        raise ValueError("sequence must fit one byte")
+    if not 0 <= frame_type <= 0xF:
+        raise ValueError("frame type must fit 4 bits")
+    header = (
+        _int_to_bits(VERSION, 4)
+        + _int_to_bits(frame_type, 4)
+        + _int_to_bits(len(data_bits), 8)
+        + _int_to_bits(sequence, 8)
+    )
+    body = header + data_bits
+    crc = crc16_itut(_pack_bits(body))
+    return body + _int_to_bits(crc, 16)
+
+
+def parse_frame_bits(bits):
+    """Parse frame bits back into a :class:`SymBeeFrame`.
+
+    Returns ``None`` when the stream is too short or the declared length
+    is inconsistent; a CRC mismatch yields a frame with ``crc_ok=False``
+    so callers can still inspect best-effort contents.
+    """
+    bits = [int(b) for b in bits]
+    if len(bits) < _HEADER_BITS + _CRC_BITS:
+        return None
+    version = _bits_to_int(bits[0:4])
+    frame_type = _bits_to_int(bits[4:8])
+    length = _bits_to_int(bits[8:16])
+    sequence = _bits_to_int(bits[16:24])
+    end = _HEADER_BITS + length
+    if len(bits) < end + _CRC_BITS:
+        return None
+    data_bits = bits[_HEADER_BITS:end]
+    received_crc = _bits_to_int(bits[end : end + _CRC_BITS])
+    expected_crc = crc16_itut(_pack_bits(bits[:end]))
+    return SymBeeFrame(
+        data_bits=tuple(data_bits),
+        sequence=sequence,
+        frame_type=frame_type,
+        version=version,
+        crc_ok=received_crc == expected_crc,
+    )
+
+
+def frame_overhead_bits():
+    """Header + CRC bits charged against every frame (preamble excluded)."""
+    return _HEADER_BITS + _CRC_BITS

@@ -1,0 +1,54 @@
+"""Run-length and sliding-window counting utilities.
+
+SymBee decoding reduces to questions about runs of same-sign phase values
+("84 consecutive negative values", "at least 84 - tau nonnegative values in
+a window"), so these helpers are on the decoder's hot path and are written
+with vectorized numpy throughout.
+"""
+
+import numpy as np
+
+
+def longest_run(mask):
+    """Length of the longest run of ``True`` in a boolean vector."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        return 0
+    padded = np.concatenate(([False], mask, [False])).astype(np.int8)
+    edges = np.diff(padded)
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    if starts.size == 0:
+        return 0
+    return int((ends - starts).max())
+
+
+def run_starts(mask, min_length):
+    """Start indices of maximal ``True`` runs at least ``min_length`` long."""
+    mask = np.asarray(mask, dtype=bool)
+    if min_length <= 0:
+        raise ValueError("min_length must be positive")
+    if mask.size == 0:
+        return np.empty(0, dtype=int)
+    padded = np.concatenate(([False], mask, [False])).astype(np.int8)
+    edges = np.diff(padded)
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    keep = (ends - starts) >= min_length
+    return starts[keep]
+
+
+def sliding_count(mask, window):
+    """Number of ``True`` values in every length-``window`` sliding window.
+
+    ``out[n] = sum(mask[n : n + window])``; the result has
+    ``len(mask) - window + 1`` entries (empty if the input is shorter than
+    the window).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if mask.size < window:
+        return np.empty(0, dtype=int)
+    csum = np.concatenate(([0], np.cumsum(mask.astype(np.int64))))
+    return (csum[window:] - csum[:-window]).astype(int)

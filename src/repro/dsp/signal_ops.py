@@ -1,0 +1,104 @@
+"""Elementary complex-baseband signal operations.
+
+Conventions:
+
+* Signals are one-dimensional ``numpy`` arrays of ``complex128`` samples.
+* Power is the mean squared magnitude of the samples (unit load assumed).
+* Phases are expressed in radians and wrapped to the interval (-pi, pi].
+"""
+
+import numpy as np
+
+
+def db_to_linear(value_db):
+    """Convert a power ratio in decibels to a linear ratio."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value):
+    """Convert a linear power ratio to decibels.
+
+    Zero or negative input is clamped to -inf dB rather than raising, so
+    measurement code can safely take the dB of an empty band.
+    """
+    value = np.asarray(value, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(value)
+
+
+def dbm_to_watts(power_dbm):
+    """Convert dBm to watts."""
+    return 10.0 ** ((np.asarray(power_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(power_watts):
+    """Convert watts to dBm."""
+    power_watts = np.asarray(power_watts, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(power_watts) + 30.0
+
+
+def signal_power(x):
+    """Mean power (mean squared magnitude) of a sampled signal."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(x) ** 2))
+
+
+def normalize_power(x):
+    """Scale ``x`` to unit mean power.  A zero signal is returned unchanged."""
+    p = signal_power(x)
+    if p == 0.0:
+        return np.array(x, copy=True)
+    return np.asarray(x) / np.sqrt(p)
+
+
+def scale_to_power(x, target_power):
+    """Scale ``x`` so its mean power equals ``target_power`` (linear units)."""
+    if target_power < 0:
+        raise ValueError("target_power must be nonnegative")
+    return normalize_power(x) * np.sqrt(target_power)
+
+
+def mix(x, frequency_offset_hz, sample_rate_hz, initial_phase=0.0):
+    """Frequency-shift a complex baseband signal.
+
+    Multiplies ``x`` by ``exp(j*(2*pi*f*t + phase0))``, which models a mixer
+    moving the signal by ``frequency_offset_hz``.  A positive offset moves
+    the spectrum up.
+    """
+    x = np.asarray(x)
+    n = np.arange(x.size)
+    rotator = np.exp(
+        1j * (2.0 * np.pi * frequency_offset_hz * n / sample_rate_hz + initial_phase)
+    )
+    return x * rotator
+
+
+def wrap_phase(phi):
+    """Wrap angles to the interval (-pi, pi]."""
+    phi = np.asarray(phi, dtype=float)
+    wrapped = np.mod(phi + np.pi, 2.0 * np.pi) - np.pi
+    # np.mod maps odd multiples of pi to -pi; the convention here is +pi.
+    if wrapped.ndim == 0:
+        return float(np.pi) if wrapped == -np.pi else float(wrapped)
+    wrapped[wrapped == -np.pi] = np.pi
+    return wrapped
+
+
+def measured_snr_db(signal, noisy):
+    """Estimate the SNR in dB of ``noisy`` given the clean ``signal``.
+
+    Both arrays must be aligned sample-for-sample; the difference is treated
+    as noise.  Used by tests to validate noise calibration.
+    """
+    signal = np.asarray(signal)
+    noisy = np.asarray(noisy)
+    if signal.shape != noisy.shape:
+        raise ValueError("signal and noisy must have the same shape")
+    noise = noisy - signal
+    noise_power = signal_power(noise)
+    if noise_power == 0.0:
+        return float("inf")
+    return float(linear_to_db(signal_power(signal) / noise_power))

@@ -1,0 +1,90 @@
+"""Extension: convergecast scaling (beyond the paper's single links).
+
+The paper motivates SymBee with convergecast IoT traffic but evaluates
+one link at a time.  This experiment grows a sensor cluster sharing one
+channel under CSMA-CA and reports delivery, latency and aggregate
+goodput — the deployment-scale picture.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.scenarios import get_scenario
+from repro.experiments.common import scaled
+from repro.network import ConvergecastNetwork, NodeConfig
+
+
+@dataclass(frozen=True)
+class NetworkScalingResult:
+    cluster_sizes: tuple
+    delivery_ratio: tuple
+    collision_rate: tuple
+    mean_latency_ms: tuple
+    goodput_bps: tuple
+    channel_utilization: tuple
+
+
+def run(seed=41, cluster_sizes=(2, 4, 8, 16), sim_duration_s=None,
+        scenario_name="office", data_bits=16):
+    sim_duration_s = (
+        min(1.0 * scaled(2), 6.0) if sim_duration_s is None else sim_duration_s
+    )
+    scenario = get_scenario(scenario_name)
+    delivery, collisions, latency, goodput, utilization = [], [], [], [], []
+    for n_nodes in cluster_sizes:
+        rng = np.random.default_rng(seed)
+        nodes = [
+            NodeConfig(
+                node_id=i,
+                distance_m=float(rng.uniform(4.0, 18.0)),
+                reading_interval_s=0.2,
+                data_bits=data_bits,
+            )
+            for i in range(n_nodes)
+        ]
+        network = ConvergecastNetwork(
+            nodes, scenario, sim_duration_s=sim_duration_s, seed=seed
+        )
+        result = network.run()
+        delivery.append(result.delivery_ratio)
+        collisions.append(result.collision_rate)
+        latency.append(result.mean_latency_s * 1000.0)
+        goodput.append(result.goodput_bps(data_bits))
+        utilization.append(result.channel_utilization)
+    return NetworkScalingResult(
+        cluster_sizes=tuple(cluster_sizes),
+        delivery_ratio=tuple(delivery),
+        collision_rate=tuple(collisions),
+        mean_latency_ms=tuple(latency),
+        goodput_bps=tuple(goodput),
+        channel_utilization=tuple(utilization),
+    )
+
+
+def main():
+    from repro.experiments.common import fmt, print_table
+
+    result = run()
+    rows = [
+        (n, fmt(d, 2), fmt(c, 2), fmt(l, 1), fmt(g, 0), fmt(u, 3))
+        for n, d, c, l, g, u in zip(
+            result.cluster_sizes,
+            result.delivery_ratio,
+            result.collision_rate,
+            result.mean_latency_ms,
+            result.goodput_bps,
+            result.channel_utilization,
+        )
+    ]
+    print_table(
+        ("nodes", "delivery", "collisions", "latency ms", "goodput bps",
+         "airtime"),
+        rows,
+        title="Extension: convergecast cluster scaling",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Figures 6/7/8: the (6,7)/(E,F) stable phases and their optimality.
+
+Reproduces the paper's Section IV-A claims:
+
+* (6,7) and (E,F) yield +-4pi/5 stable plateaus of 84 phase values
+  (4.2 us) at a 20 Msps receiver;
+* those are the *longest* stable plateaus over all 256 ordered symbol
+  pairs, and the two levels are the extreme (maximally distinct) ones.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SYMBEE_STABLE_PHASE, WIFI_SAMPLE_RATE_20MHZ
+from repro.core.phase import stable_run_lengths
+
+
+@dataclass(frozen=True)
+class StablePhaseResult:
+    bit1_run: int              # (6,7), +4pi/5 plateau length
+    bit0_run: int              # (E,F), -4pi/5 plateau length
+    best_other_run: int        # best plateau among all other pairs
+    best_other_pair: tuple
+    ranking: tuple             # top pairs by plateau length
+    separation_rad: float      # distance between the two bit levels
+
+
+def run(sample_rate=WIFI_SAMPLE_RATE_20MHZ, top=8):
+    """Exhaustive stable-plateau sweep over all ordered symbol pairs."""
+    scores = []
+    for a in range(16):
+        for b in range(16):
+            neg, pos = stable_run_lengths((a, b), sample_rate)
+            scores.append((max(neg, pos), (a, b), neg, pos))
+    scores.sort(key=lambda item: (-item[0], item[1]))
+
+    by_pair = {pair: (neg, pos) for _, pair, neg, pos in scores}
+    bit1_run = by_pair[(0x6, 0x7)][1]
+    bit0_run = by_pair[(0xE, 0xF)][0]
+    others = [s for s in scores if s[1] not in ((0x6, 0x7), (0xE, 0xF))]
+    best_other = others[0]
+    return StablePhaseResult(
+        bit1_run=bit1_run,
+        bit0_run=bit0_run,
+        best_other_run=best_other[0],
+        best_other_pair=best_other[1],
+        ranking=tuple(scores[:top]),
+        separation_rad=2.0 * SYMBEE_STABLE_PHASE,
+    )
+
+
+def main():
+    from repro.experiments.common import print_table
+
+    result = run()
+    print("\n== Fig 6/7: stable phases of the SymBee symbol pairs ==")
+    print(f"(6,7) -> bit 1: +4pi/5 plateau of {result.bit1_run} samples")
+    print(f"(E,F) -> bit 0: -4pi/5 plateau of {result.bit0_run} samples")
+    print(
+        f"best other pair {tuple(f'{s:X}' for s in result.best_other_pair)}: "
+        f"{result.best_other_run} samples"
+    )
+    print(
+        f"bit separation: {result.separation_rad / np.pi:.2f} pi "
+        "(maximum possible = 8pi/5, paper Section IV-A)"
+    )
+    rows = [
+        (
+            f"({pair[0]:X},{pair[1]:X})",
+            best,
+            neg,
+            pos,
+        )
+        for best, pair, neg, pos in result.ranking
+    ]
+    print_table(
+        ("pair", "longest plateau", "-4pi/5 run", "+4pi/5 run"),
+        rows,
+        title="top symbol pairs by stable-plateau length",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

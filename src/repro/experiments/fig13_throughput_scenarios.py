@@ -1,0 +1,74 @@
+"""Figure 13: SymBee throughput in the six evaluation scenarios.
+
+Full-PHY Monte Carlo over the scenario presets at 5-25 m.  Paper shape
+targets: outdoor best (31.25 kbps within 15 m, about 30 kbps at 25 m),
+classroom second, then office above dormitory, library and mall worst
+(>= 24.4 / 21 kbps within 25 m respectively).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    DISTANCES_M,
+    SCENARIO_ORDER,
+    scaled,
+    scenario_sweep,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    scenarios: tuple
+    distances: tuple
+    throughput_kbps: dict      # scenario -> tuple aligned with distances
+    ber: dict
+    capture_rate: dict
+    mean_snr_db: dict
+
+
+def run(seed=13, n_frames=None, bits_per_frame=64, distances=DISTANCES_M,
+        scenarios=SCENARIO_ORDER):
+    """Run the sweep; shared by Figures 13 (throughput) and 14 (BER)."""
+    rng = np.random.default_rng(seed)
+    n_frames = scaled(20) if n_frames is None else n_frames
+    raw = scenario_sweep(
+        rng,
+        scenarios=scenarios,
+        distances=distances,
+        n_frames=n_frames,
+        bits_per_frame=bits_per_frame,
+    )
+    throughput, ber, capture, snr = {}, {}, {}, {}
+    for name in scenarios:
+        stats = [raw[name][d] for d in distances]
+        throughput[name] = tuple(s.throughput_bps / 1000.0 for s in stats)
+        ber[name] = tuple(s.ber for s in stats)
+        capture[name] = tuple(s.capture_rate for s in stats)
+        snr[name] = tuple(s.mean_snr_db for s in stats)
+    return ScenarioSweepResult(
+        scenarios=tuple(scenarios),
+        distances=tuple(distances),
+        throughput_kbps=throughput,
+        ber=ber,
+        capture_rate=capture,
+        mean_snr_db=snr,
+    )
+
+
+def main(result=None):
+    from repro.experiments.common import fmt, print_table
+
+    result = run() if result is None else result
+    headers = ("scenario",) + tuple(f"{d} m" for d in result.distances)
+    rows = [
+        (name,) + tuple(fmt(v, 2) for v in result.throughput_kbps[name])
+        for name in result.scenarios
+    ]
+    print_table(headers, rows, title="Fig 13: throughput (kbps) by scenario and distance")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Figure 14: SymBee bit error rate in the six evaluation scenarios.
+
+Same sweep as Figure 13, reported as BER.  Paper shape targets: outdoor
+<= 5% at all distances; indoor <= 10% within 10 m even in the mall and
+library; BER grows with distance fastest in the cluttered sites.
+"""
+
+from repro.experiments.fig13_throughput_scenarios import run as _run_sweep
+
+
+def run(seed=14, **kwargs):
+    """The Figure 13/14 sweep keyed for BER reporting."""
+    return _run_sweep(seed=seed, **kwargs)
+
+
+def main(result=None):
+    from repro.experiments.common import fmt, print_table
+
+    result = run() if result is None else result
+    headers = ("scenario",) + tuple(f"{d} m" for d in result.distances)
+    rows = [
+        (name,) + tuple(fmt(v, 3) for v in result.ber[name])
+        for name in result.scenarios
+    ]
+    print_table(headers, rows, title="Fig 14: bit error rate by scenario and distance")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Terminal plotting: ASCII charts for experiment output.
+
+The benches run in CI-like environments without display servers, so the
+figures are rendered as text — good enough to eyeball every shape the
+paper's plots show (knees, crossovers, orderings).
+"""
+
+import math
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_series(x, series, width=64, height=14, x_label="", y_label="",
+                 y_log=False):
+    """Render one or more y(x) series as an ASCII chart string.
+
+    ``series`` maps label -> list of y values (aligned with ``x``).
+    ``y_log`` plots log10(y) with zeros clamped to the smallest positive
+    value (handy for BER curves).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0 or not series:
+        return "(no data)"
+    names = list(series)
+    ys = {name: np.asarray(series[name], dtype=float) for name in names}
+
+    if y_log:
+        positive = [v for vals in ys.values() for v in vals if v > 0]
+        floor = min(positive) / 10.0 if positive else 1e-6
+        ys = {
+            name: np.log10(np.maximum(vals, floor)) for name, vals in ys.items()
+        }
+
+    all_y = np.concatenate(list(ys.values()))
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for xv, yv in zip(x, ys[name]):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def _fmt(value):
+        if y_log:
+            return f"1e{value:+.1f}"
+        return f"{value:.3g}"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _fmt(y_max)
+        elif row_index == height - 1:
+            label = _fmt(y_min)
+        else:
+            label = ""
+        lines.append(f"{label:>8} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_min:<10.3g}{x_label:^{max(0, width - 20)}}{x_max:>10.3g}"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 9 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def ascii_bars(labels, values, width=50, log=False):
+    """Horizontal bar chart string; ``log`` scales bars by log10(value)."""
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    if log:
+        floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+        scaled = [math.log10(max(v, floor / 10)) for v in values]
+        low = min(scaled)
+        spans = [s - low for s in scaled]
+    else:
+        spans = values
+    top = max(spans) or 1.0
+    name_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value, span in zip(labels, values, spans):
+        bar = "#" * max(1, int(round(span / top * width)))
+        lines.append(f"{str(label):>{name_width}} | {bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""IEEE 802.11 (WiFi) substrate.
+
+SymBee never demodulates WiFi frames; what it needs from the WiFi side is
+(1) the RF front-end that carries a ZigBee passband signal into WiFi
+baseband samples, and (2) the autocorrelation-based idle-listening module
+whose phase-difference output SymBee recycles.  The OFDM transmitter
+exists so idle-listening can be validated against real WiFi preambles and
+so the interference experiments (paper Sections VIII-E) can mix in
+standard-shaped 802.11g bursts.
+"""
+
+from repro.wifi.channels import WIFI_CHANNELS, wifi_channel_frequency
+from repro.wifi.front_end import WifiFrontEnd, noise_floor_watts
+from repro.wifi.idle_listening import (
+    IdleListening,
+    phase_differences,
+    autocorrelation_metric,
+)
+from repro.wifi.ofdm import OfdmTransmitter, l_stf, l_ltf
+from repro.wifi.receiver import OfdmReceiver, OfdmReception
+from repro.wifi.impairments import (
+    apply_dc_offset,
+    apply_iq_imbalance,
+    clip_magnitude,
+    quantize,
+    image_rejection_ratio_db,
+)
+
+__all__ = [
+    "WIFI_CHANNELS",
+    "wifi_channel_frequency",
+    "WifiFrontEnd",
+    "noise_floor_watts",
+    "IdleListening",
+    "phase_differences",
+    "autocorrelation_metric",
+    "OfdmTransmitter",
+    "OfdmReceiver",
+    "OfdmReception",
+    "l_stf",
+    "l_ltf",
+    "apply_dc_offset",
+    "apply_iq_imbalance",
+    "clip_magnitude",
+    "quantize",
+    "image_rejection_ratio_db",
+]

@@ -1,0 +1,12 @@
+"""2.4 GHz WiFi channel map."""
+
+#: WiFi channel number (1-13) -> centre frequency in Hz.
+WIFI_CHANNELS = {k: (2412 + 5 * (k - 1)) * 1_000_000.0 for k in range(1, 14)}
+
+
+def wifi_channel_frequency(channel):
+    """Centre frequency of a 2.4 GHz WiFi channel (1-13)."""
+    try:
+        return WIFI_CHANNELS[channel]
+    except KeyError:
+        raise ValueError(f"WiFi channel must be 1..13, got {channel}") from None

@@ -1,0 +1,50 @@
+"""2.4 GHz channel maps for ZigBee and their overlap with WiFi.
+
+ZigBee channels 11-26 sit at 2405 + 5*(k-11) MHz.  WiFi channels 1-13 sit
+at 2412 + 5*(k-1) MHz with ~20 MHz occupancy, so each WiFi channel overlaps
+four ZigBee channels at centre-frequency offsets of (3 + 5m) MHz,
+m in {-2,-1,0,1} — the fact the paper's Appendix B leans on for its
+constant CFO-compensation term.
+"""
+
+#: ZigBee channel number -> centre frequency in Hz.
+ZIGBEE_CHANNELS = {k: (2405 + 5 * (k - 11)) * 1_000_000.0 for k in range(11, 27)}
+
+
+def zigbee_channel_frequency(channel):
+    """Centre frequency of a 2.4 GHz ZigBee channel (11-26)."""
+    try:
+        return ZIGBEE_CHANNELS[channel]
+    except KeyError:
+        raise ValueError(f"ZigBee channel must be 11..26, got {channel}") from None
+
+
+def overlapping_wifi_channels(zigbee_channel, wifi_bandwidth_hz=20e6):
+    """WiFi channels (1-13) whose band contains the ZigBee channel.
+
+    Overlap is judged on the ZigBee signal's 2 MHz occupancy falling inside
+    the WiFi channel's bandwidth.
+    """
+    from repro.wifi.channels import WIFI_CHANNELS
+    from repro.constants import ZIGBEE_BANDWIDTH
+
+    f_zigbee = zigbee_channel_frequency(zigbee_channel)
+    half_span = wifi_bandwidth_hz / 2.0 - ZIGBEE_BANDWIDTH / 2.0
+    return [
+        ch
+        for ch, f_wifi in WIFI_CHANNELS.items()
+        if abs(f_zigbee - f_wifi) <= half_span
+    ]
+
+
+def frequency_offset_hz(zigbee_channel, wifi_channel):
+    """Centre-frequency offset f_zigbee - f_wifi in Hz.
+
+    For every overlapping pair this is (3 + 5m) MHz, m in {-2,-1,0,1}
+    (paper Appendix B).
+    """
+    from repro.wifi.channels import wifi_channel_frequency
+
+    return zigbee_channel_frequency(zigbee_channel) - wifi_channel_frequency(
+        wifi_channel
+    )

@@ -1,0 +1,76 @@
+"""Unslotted CSMA-CA channel access (IEEE 802.15.4 Section 6.2.5.1).
+
+The paper's convergecast motivation implies many sensors sharing one
+channel; this module provides the standard contention algorithm the
+multi-node simulator (:mod:`repro.network`) runs under.
+
+Algorithm (unslotted variant): for each attempt, wait a random backoff of
+``random(0 .. 2^BE - 1)`` unit backoff periods (20 symbols = 320 us),
+then perform CCA; if the channel is busy, increment BE (capped at
+``max_be``) and retry, giving up after ``max_backoffs`` busy CCAs.
+"""
+
+from dataclasses import dataclass
+
+from repro.constants import ZIGBEE_SYMBOL_DURATION
+
+#: One unit backoff period: 20 symbols = 320 us.
+UNIT_BACKOFF_S = 20 * ZIGBEE_SYMBOL_DURATION
+
+#: Duration of the CCA measurement: 8 symbols = 128 us.
+CCA_DURATION_S = 8 * ZIGBEE_SYMBOL_DURATION
+
+
+@dataclass(frozen=True)
+class CsmaOutcome:
+    """Result of one channel-access attempt."""
+
+    success: bool
+    tx_time_s: float            # when transmission may start (if success)
+    backoffs_used: int
+    time_spent_s: float         # total time from invocation to decision
+
+
+class CsmaCa:
+    """Unslotted 802.15.4 CSMA-CA with standard default parameters."""
+
+    def __init__(self, min_be=3, max_be=5, max_backoffs=4):
+        if not 0 <= min_be <= max_be:
+            raise ValueError("need 0 <= min_be <= max_be")
+        if max_backoffs < 0:
+            raise ValueError("max_backoffs must be nonnegative")
+        self.min_be = int(min_be)
+        self.max_be = int(max_be)
+        self.max_backoffs = int(max_backoffs)
+
+    def attempt(self, now_s, channel_busy, rng):
+        """Run the backoff/CCA loop starting at ``now_s``.
+
+        ``channel_busy(start_s, duration_s)`` must report whether the
+        medium is occupied at any point in the window — the simulator
+        supplies it from the committed transmission timeline.
+
+        Returns a :class:`CsmaOutcome`; on failure ``tx_time_s`` is the
+        time at which the algorithm gave up.
+        """
+        be = self.min_be
+        clock = float(now_s)
+        for backoff_index in range(self.max_backoffs + 1):
+            slots = int(rng.integers(0, 2**be))
+            clock += slots * UNIT_BACKOFF_S
+            if not channel_busy(clock, CCA_DURATION_S):
+                clock += CCA_DURATION_S
+                return CsmaOutcome(
+                    success=True,
+                    tx_time_s=clock,
+                    backoffs_used=backoff_index,
+                    time_spent_s=clock - now_s,
+                )
+            clock += CCA_DURATION_S
+            be = min(be + 1, self.max_be)
+        return CsmaOutcome(
+            success=False,
+            tx_time_s=clock,
+            backoffs_used=self.max_backoffs + 1,
+            time_spent_s=clock - now_s,
+        )

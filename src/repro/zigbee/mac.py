@@ -1,0 +1,97 @@
+"""Minimal 802.15.4 MAC data-frame codec.
+
+Implements the subset a SymBee sender actually uses: a data frame with
+short (16-bit) addressing, a sequence number, a payload, and the FCS.  The
+MPDU layout is::
+
+    | FCF (2) | seq (1) | dest PAN (2) | dest addr (2) | src addr (2)
+    | payload (n) | FCS (2) |
+
+so the fixed MAC overhead is 11 bytes, leaving 116 payload bytes inside
+the 127-byte PSDU.  The paper's "maximum payload of 127" refers to the
+PSDU; see DESIGN.md Section 2 for how the SymBee frame budget is split.
+"""
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.constants import ZIGBEE_MAX_PSDU
+from repro.zigbee.crc import append_fcs, check_fcs
+
+#: Frame Control Field for a data frame, short addressing both ends,
+#: intra-PAN. Bits: type=001 (data), PAN-ID compression=1,
+#: dest mode=10 (short), src mode=10 (short), 2003 frame version.
+FCF_DATA_SHORT = 0x8841
+
+#: Fixed MPDU overhead: FCF + seq + dest PAN + dest + src + FCS.
+MAC_OVERHEAD_BYTES = 11
+
+#: Largest MAC payload that fits the 127-byte PSDU.
+MAX_MAC_PAYLOAD = ZIGBEE_MAX_PSDU - MAC_OVERHEAD_BYTES
+
+#: Conventional broadcast short address.
+BROADCAST_ADDRESS = 0xFFFF
+
+
+@dataclass
+class MacFrame:
+    """An 802.15.4 data frame with short addressing."""
+
+    payload: bytes
+    sequence: int = 0
+    pan_id: int = 0x22B8
+    destination: int = BROADCAST_ADDRESS
+    #: Default short address chosen so the header bytes adjacent to the
+    #: payload (source address, transmitted low byte first) contain no
+    #: 0x00/0xFF/SymBee-codeword octets: symbol pairs like (0,0) fold
+    #: into weak bit-0 mimics right before the SymBee preamble and can
+    #: ghost the preamble capture (see repro.core.preamble).  0x2B4D
+    #: puts symbols (D,4) and (B,2) on air there instead.
+    source: int = 0x2B4D
+    frame_control: int = field(default=FCF_DATA_SHORT)
+
+    def __post_init__(self):
+        self.payload = bytes(self.payload)
+        if len(self.payload) > MAX_MAC_PAYLOAD:
+            raise ValueError(
+                f"MAC payload of {len(self.payload)} bytes exceeds "
+                f"{MAX_MAC_PAYLOAD}"
+            )
+        if not 0 <= self.sequence <= 0xFF:
+            raise ValueError("sequence must fit one byte")
+        for name in ("pan_id", "destination", "source", "frame_control"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} must fit two bytes")
+
+    def to_psdu(self):
+        """Serialize to an MPDU (PSDU bytes) including the FCS."""
+        header = struct.pack(
+            "<HBHHH",
+            self.frame_control,
+            self.sequence,
+            self.pan_id,
+            self.destination,
+            self.source,
+        )
+        return append_fcs(header + self.payload)
+
+    @classmethod
+    def from_psdu(cls, psdu):
+        """Parse and FCS-check an MPDU.  Raises ``ValueError`` when corrupt."""
+        psdu = bytes(psdu)
+        if len(psdu) < MAC_OVERHEAD_BYTES:
+            raise ValueError("PSDU shorter than the minimum MPDU")
+        if not check_fcs(psdu):
+            raise ValueError("FCS check failed")
+        frame_control, sequence, pan_id, destination, source = struct.unpack(
+            "<HBHHH", psdu[:9]
+        )
+        return cls(
+            payload=psdu[9:-2],
+            sequence=sequence,
+            pan_id=pan_id,
+            destination=destination,
+            source=source,
+            frame_control=frame_control,
+        )

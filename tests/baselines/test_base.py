@@ -1,0 +1,83 @@
+"""Unit tests for the packet-level CTC framework."""
+
+import pytest
+
+from repro.baselines.base import (
+    CtcSimulationResult,
+    PacketEvent,
+    events_in_order,
+    quantize,
+)
+from repro.baselines.cmorse import CMorse
+
+
+class TestPacketEvent:
+    def test_valid(self):
+        event = PacketEvent(time_s=1.0, duration_s=1e-3)
+        assert event.stream == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PacketEvent(time_s=-1.0, duration_s=1e-3)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PacketEvent(time_s=0.0, duration_s=0.0)
+
+
+class TestResult:
+    def test_throughput(self):
+        result = CtcSimulationResult(
+            scheme="x", bits_sent=100, bits_correct=80, channel_time_s=2.0
+        )
+        assert result.throughput_bps == pytest.approx(40.0)
+        assert result.bit_error_rate == pytest.approx(0.2)
+
+    def test_zero_duration(self):
+        result = CtcSimulationResult(
+            scheme="x", bits_sent=0, bits_correct=0, channel_time_s=0.0
+        )
+        assert result.throughput_bps == 0.0
+        assert result.bit_error_rate == 0.0
+
+
+class TestHelpers:
+    def test_events_in_order(self):
+        events = [
+            PacketEvent(time_s=2.0, duration_s=1e-3),
+            PacketEvent(time_s=1.0, duration_s=1e-3),
+        ]
+        ordered = events_in_order(events)
+        assert [e.time_s for e in ordered] == [1.0, 2.0]
+
+    def test_quantize(self):
+        assert quantize(2.9e-3, 1e-3) == 3
+        assert quantize(0.4e-3, 1e-3) == 0
+
+    def test_quantize_invalid_step(self):
+        with pytest.raises(ValueError):
+            quantize(1.0, 0.0)
+
+
+class TestLossModel:
+    def test_zero_loss_keeps_all(self, rng):
+        scheme = CMorse()
+        events, _ = scheme.encode([1, 0, 1], rng)
+        assert scheme.apply_loss(events, 0.0, rng) == events
+
+    def test_full_loss_invalid(self, rng):
+        scheme = CMorse()
+        with pytest.raises(ValueError):
+            scheme.apply_loss([], 1.0, rng)
+
+    def test_loss_rate_statistics(self, rng):
+        scheme = CMorse()
+        events, _ = scheme.encode([1] * 500, rng)
+        kept = scheme.apply_loss(events, 0.3, rng)
+        assert 0.55 < len(kept) / len(events) < 0.85
+
+    def test_lossy_delivery_degrades_throughput(self, rng):
+        scheme = CMorse()
+        clean = scheme.simulate([1, 0] * 100, rng, loss_rate=0.0)
+        lossy = scheme.simulate([1, 0] * 100, rng, loss_rate=0.4)
+        assert lossy.bits_correct < clean.bits_correct

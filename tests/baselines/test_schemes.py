@@ -1,0 +1,117 @@
+"""Unit and property tests for the five packet-level CTC schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import AFreeBee, CMorse, Dctc, Emf, FreeBee, all_baselines
+
+ALL_SCHEMES = [FreeBee, AFreeBee, Emf, Dctc, CMorse]
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    @given(bits=st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    @settings(max_examples=15, deadline=None)
+    def test_lossless_roundtrip(self, scheme_cls, bits):
+        scheme = scheme_cls()
+        rng = np.random.default_rng(3)
+        result = scheme.simulate(bits, rng, loss_rate=0.0)
+        # Chunked schemes may pad the tail; all sent bits must be correct.
+        assert result.bits_correct == result.bits_sent
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_loss_causes_errors(self, scheme_cls, rng):
+        scheme = scheme_cls()
+        bits = list(rng.integers(0, 2, 400))
+        result = scheme.simulate(bits, rng, loss_rate=0.5)
+        assert result.bit_error_rate > 0.05
+
+
+class TestMeasuredRates:
+    """The Figure 16 bar ordering, measured not asserted by fiat."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        rng = np.random.default_rng(16)
+        return {
+            scheme.name: scheme.measured_rate_bps(rng, n_bits=512)
+            for scheme in all_baselines()
+        }
+
+    def test_freebee_rate(self, rates):
+        # 2 bits per 100 ms beacon = 20 bps (cf. FreeBee's ~18 bps avg).
+        assert rates["FreeBee"] == pytest.approx(20.0, rel=0.05)
+
+    def test_afreebee_triples_freebee(self, rates):
+        assert rates["A-FreeBee"] == pytest.approx(3 * rates["FreeBee"], rel=0.1)
+
+    def test_emf_rate(self, rates):
+        assert rates["EMF"] == pytest.approx(100.0, rel=0.05)
+
+    def test_dctc_rate(self, rates):
+        assert rates["DCTC"] == pytest.approx(142.9, rel=0.05)
+
+    def test_cmorse_at_published_215bps(self, rates):
+        assert rates["C-Morse"] == pytest.approx(215.0, rel=0.03)
+
+    def test_paper_ordering(self, rates):
+        ordered = [
+            rates[name]
+            for name in ("FreeBee", "A-FreeBee", "EMF", "DCTC", "C-Morse")
+        ]
+        assert ordered == sorted(ordered)
+
+    def test_symbee_speedup_is_145x(self, rates):
+        from repro.core.analytics import raw_bit_rate_bps
+
+        speedup = raw_bit_rate_bps() / rates["C-Morse"]
+        assert speedup == pytest.approx(145.4, rel=0.05)
+
+
+class TestSchemeDetails:
+    def test_freebee_shift_bounds(self):
+        with pytest.raises(ValueError):
+            FreeBee(beacon_interval_s=0.01, shift_quantum_s=5e-3, bits_per_beacon=3)
+
+    def test_freebee_events_on_epoch_grid(self, rng):
+        scheme = FreeBee()
+        events, duration = scheme.encode([1, 0, 1, 1], rng)
+        assert len(events) == 2  # 2 bits per beacon
+        assert duration == pytest.approx(2 * scheme.beacon_interval_s)
+
+    def test_afreebee_uses_streams(self, rng):
+        scheme = AFreeBee(n_streams=3)
+        events, _ = scheme.encode([1, 0] * 9, rng)
+        assert {e.stream for e in events} == {0, 1, 2}
+
+    def test_emf_duration_levels(self, rng):
+        scheme = Emf()
+        events, _ = scheme.encode([1, 1], rng)  # value 3 -> max padding
+        base_events, _ = scheme.encode([0, 0], rng)
+        assert events[0].duration_s > base_events[0].duration_s
+
+    def test_emf_padding_must_fit_interval(self):
+        with pytest.raises(ValueError):
+            Emf(traffic_interval_s=1e-3, duration_step_s=1e-3, bits_per_packet=4)
+
+    def test_dctc_zero_bits_have_no_packets(self, rng):
+        scheme = Dctc()
+        events, duration = scheme.encode([0, 0, 0, 0], rng)
+        assert events == []
+        assert duration == pytest.approx(4 * scheme.slot_s)
+
+    def test_dctc_slot_must_fit_packet(self):
+        with pytest.raises(ValueError):
+            Dctc(slot_s=100e-6)
+
+    def test_cmorse_dash_longer_than_dot(self, rng):
+        scheme = CMorse(gap_jitter_s=0.0)
+        events, _ = scheme.encode([0, 1], rng)
+        assert events[1].duration_s == pytest.approx(3 * events[0].duration_s)
+
+    def test_cmorse_gap_validation(self):
+        with pytest.raises(ValueError):
+            CMorse(guard_gap_s=-1.0)
+        with pytest.raises(ValueError):
+            CMorse(guard_gap_s=1e-3, gap_jitter_s=2e-3)

@@ -1,0 +1,96 @@
+"""Unit tests for small-scale fading models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    MultipathChannel,
+    RayleighBlockFading,
+    doppler_frequency_hz,
+    jakes_doppler_gain,
+)
+
+
+class TestDoppler:
+    def test_frequency_formula(self):
+        # 4.16 m/s (9.3 mph) at 2.44 GHz -> ~33.8 Hz.
+        assert doppler_frequency_hz(4.157) == pytest.approx(33.8, abs=0.5)
+
+    def test_zero_speed(self):
+        assert doppler_frequency_hz(0.0) == 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_frequency_hz(-1.0)
+
+    def test_jakes_unit_mean_power(self, rng):
+        gain = jakes_doppler_gain(50_000, 20e6, 100.0, rng)
+        assert np.mean(np.abs(gain) ** 2) == pytest.approx(1.0, rel=0.4)
+
+    def test_jakes_zero_doppler_is_constant(self, rng):
+        gain = jakes_doppler_gain(1000, 20e6, 0.0, rng)
+        assert np.allclose(gain, gain[0])
+        assert abs(gain[0]) == pytest.approx(1.0)
+
+    def test_jakes_varies_in_time(self, rng):
+        # At 100 Hz Doppler over 50 ms the gain must decorrelate.
+        gain = jakes_doppler_gain(1_000_000, 20e6, 100.0, rng)
+        assert np.std(np.abs(gain)) > 0.05
+
+    def test_negative_doppler_rejected(self, rng):
+        with pytest.raises(ValueError):
+            jakes_doppler_gain(10, 20e6, -5.0, rng)
+
+
+class TestRayleighBlockFading:
+    def test_unit_mean_power(self, rng):
+        fading = RayleighBlockFading()
+        gains = np.array([fading.sample_gain(rng) for _ in range(8000)])
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_large_k_approaches_unity_magnitude(self, rng):
+        fading = RayleighBlockFading(k_factor=1000.0)
+        gains = np.array([fading.sample_gain(rng) for _ in range(200)])
+        assert np.allclose(np.abs(gains), 1.0, atol=0.1)
+
+    def test_rayleigh_deep_fades_exist(self, rng):
+        fading = RayleighBlockFading(k_factor=0.0)
+        gains = np.array([abs(fading.sample_gain(rng)) ** 2 for _ in range(5000)])
+        assert np.mean(gains < 0.1) == pytest.approx(1 - np.exp(-0.1), abs=0.03)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            RayleighBlockFading(k_factor=-1.0)
+
+
+class TestMultipathChannel:
+    def test_tap_count_scales_with_spread(self):
+        short = MultipathChannel(25e-9, 20e6)
+        long = MultipathChannel(200e-9, 20e6)
+        assert long.n_taps > short.n_taps >= 2
+
+    def test_zero_spread_single_tap(self):
+        flat = MultipathChannel(0.0, 20e6)
+        assert flat.n_taps == 1
+
+    def test_taps_unit_energy(self, rng):
+        channel = MultipathChannel(100e-9, 20e6)
+        taps = channel.sample_taps(rng)
+        assert np.sum(np.abs(taps) ** 2) == pytest.approx(1.0)
+
+    def test_apply_preserves_length(self, rng):
+        channel = MultipathChannel(100e-9, 20e6)
+        x = np.ones(500, dtype=complex)
+        assert channel.apply(x, rng).size == 500
+
+    def test_apply_preserves_mean_power(self, rng):
+        channel = MultipathChannel(50e-9, 20e6, k_factor=5.0)
+        x = np.exp(1j * 0.3 * np.arange(20000))
+        powers = [
+            np.mean(np.abs(channel.apply(x, rng)) ** 2) for _ in range(200)
+        ]
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.15)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(-1e-9, 20e6)

@@ -1,0 +1,81 @@
+"""Unit tests for the WiFi interference traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import WifiInterferenceModel
+from repro.dsp.signal_ops import signal_power
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("duty", [-0.1, 1.0, 1.5])
+    def test_invalid_duty(self, duty):
+        with pytest.raises(ValueError):
+            WifiInterferenceModel(duty_cycle=duty)
+
+    def test_invalid_burst_range(self):
+        with pytest.raises(ValueError):
+            WifiInterferenceModel(duty_cycle=0.1, burst_duration_range_s=(1e-3, 5e-4))
+
+    def test_mean_gap_infinite_at_zero_duty(self):
+        assert WifiInterferenceModel(duty_cycle=0.0).mean_gap_seconds() == float("inf")
+
+    def test_mean_gap_formula(self):
+        model = WifiInterferenceModel(
+            duty_cycle=0.5, burst_duration_range_s=(1e-3, 1e-3)
+        )
+        assert model.mean_gap_seconds() == pytest.approx(1e-3)
+
+
+class TestGeneration:
+    def test_zero_duty_produces_nothing(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.0)
+        assert model.generate(100_000, 1e-6, rng) == []
+
+    def test_bursts_inside_window(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.3)
+        for burst in model.generate(200_000, 1e-6, rng):
+            assert 0 <= burst.start_index < 200_000
+
+    def test_duty_cycle_approximately_respected(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.3)
+        n = 2_000_000
+        busy = sum(
+            min(b.n_samples, n - b.start_index)
+            for b in model.generate(n, 1e-6, rng)
+        )
+        assert busy / n == pytest.approx(0.3, abs=0.12)
+
+    def test_sir_mode_power(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.5, mean_sir_db=10.0, sir_sigma_db=0.0)
+        bursts = model.generate(500_000, 1e-6, rng)
+        assert bursts
+        for burst in bursts:
+            assert signal_power(burst.waveform) == pytest.approx(1e-7, rel=1e-6)
+
+    def test_absolute_power_mode(self, rng):
+        model = WifiInterferenceModel(
+            duty_cycle=0.5, mean_power_dbm=-60.0, power_sigma_db=0.0
+        )
+        bursts = model.generate(500_000, 123.0, rng)
+        assert bursts
+        for burst in bursts:
+            # -60 dBm = 1e-9 W regardless of the SymBee power argument.
+            assert signal_power(burst.waveform) == pytest.approx(1e-9, rel=1e-6)
+
+    def test_contributions_format(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.4)
+        contributions = model.contributions(300_000, 1e-6, rng, 2.412e9)
+        assert contributions
+        waveform, start, freq = contributions[0]
+        assert freq == 2.412e9
+        assert isinstance(start, int) or np.issubdtype(type(start), np.integer)
+        assert waveform.dtype == np.complex128
+
+    def test_bursts_do_not_overlap(self, rng):
+        model = WifiInterferenceModel(duty_cycle=0.6)
+        bursts = model.generate(1_000_000, 1e-6, rng)
+        end = -1
+        for burst in bursts:
+            assert burst.start_index > end
+            end = burst.start_index + burst.n_samples

@@ -1,0 +1,57 @@
+"""Unit tests for the composite link channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import MultipathChannel
+from repro.channel.link import LinkChannel
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.dsp.signal_ops import signal_power
+
+
+class TestLinkChannel:
+    def test_mean_received_power(self):
+        link = LinkChannel(
+            path_loss=LogDistancePathLoss(exponent=2.0), distance_m=10.0
+        )
+        expected = 0.0 - link.path_loss.mean_loss_db(10.0)
+        assert link.mean_received_power_dbm(0.0) == pytest.approx(expected)
+
+    def test_apply_attenuates(self, rng):
+        link = LinkChannel(
+            path_loss=LogDistancePathLoss(exponent=2.0), distance_m=10.0
+        )
+        x = np.ones(1000, dtype=complex) * np.sqrt(1e-3)
+        out = link.apply(x, rng)
+        out_dbm = 10 * np.log10(signal_power(out)) + 30
+        assert out_dbm == pytest.approx(link.mean_received_power_dbm(0.0), abs=0.1)
+
+    def test_multipath_composes(self, rng):
+        link = LinkChannel(
+            path_loss=LogDistancePathLoss(exponent=2.0),
+            distance_m=5.0,
+            multipath=MultipathChannel(100e-9, 20e6),
+        )
+        x = np.exp(1j * 0.3 * np.arange(5000))
+        out = link.apply(x, rng)
+        assert out.size == x.size
+        assert signal_power(out) > 0
+
+    def test_doppler_varies_envelope(self, rng):
+        link = LinkChannel(distance_m=5.0, speed_m_s=10.0, sample_rate=20e6)
+        x = np.ones(2_000_000, dtype=complex)
+        out = link.apply(x, rng)
+        envelope = np.abs(out)
+        assert np.std(envelope) / np.mean(envelope) > 0.05
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            LinkChannel(distance_m=0.0)
+
+    def test_invalid_multipath_type(self):
+        with pytest.raises(TypeError):
+            LinkChannel(distance_m=1.0, multipath="not a channel")
+
+    def test_default_path_loss_used(self):
+        link = LinkChannel(distance_m=2.0)
+        assert isinstance(link.path_loss, LogDistancePathLoss)

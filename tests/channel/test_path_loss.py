@@ -1,0 +1,75 @@
+"""Unit tests for large-scale propagation models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.path_loss import (
+    FREE_SPACE_REFERENCE_LOSS_DB,
+    LogDistancePathLoss,
+    free_space_path_loss_db,
+)
+
+
+class TestFreeSpace:
+    def test_reference_loss_at_1m(self):
+        # About 40.2 dB at 2.44 GHz.
+        assert FREE_SPACE_REFERENCE_LOSS_DB == pytest.approx(40.2, abs=0.3)
+
+    def test_inverse_square_law(self):
+        assert free_space_path_loss_db(20.0) - free_space_path_loss_db(
+            10.0
+        ) == pytest.approx(20 * np.log10(2))
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0)
+
+
+class TestLogDistance:
+    def test_mean_loss_at_reference(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        assert model.mean_loss_db(1.0) == pytest.approx(
+            FREE_SPACE_REFERENCE_LOSS_DB
+        )
+
+    def test_exponent_slope(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        assert model.mean_loss_db(10.0) - model.mean_loss_db(1.0) == pytest.approx(
+            30.0
+        )
+
+    def test_wall_loss_added(self):
+        plain = LogDistancePathLoss(exponent=2.0)
+        walled = LogDistancePathLoss(exponent=2.0, wall_loss_db=12.0)
+        assert walled.mean_loss_db(5.0) - plain.mean_loss_db(5.0) == pytest.approx(
+            12.0
+        )
+
+    def test_shadowing_statistics(self, rng):
+        model = LogDistancePathLoss(exponent=2.5, shadowing_sigma_db=6.0)
+        samples = [model.sample_loss_db(10.0, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(model.mean_loss_db(10.0), abs=0.4)
+        assert np.std(samples) == pytest.approx(6.0, rel=0.1)
+
+    def test_no_shadowing_is_deterministic(self, rng):
+        model = LogDistancePathLoss(exponent=2.5)
+        assert model.sample_loss_db(7.0, rng) == model.mean_loss_db(7.0)
+
+    def test_received_power(self):
+        model = LogDistancePathLoss(exponent=2.0)
+        rss = model.received_power_dbm(0.0, 10.0)
+        assert rss == pytest.approx(-model.mean_loss_db(10.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"exponent": 0.0},
+        {"exponent": -1.0},
+        {"exponent": 2.0, "shadowing_sigma_db": -1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(**kwargs)
+
+    def test_invalid_distance(self):
+        model = LogDistancePathLoss()
+        with pytest.raises(ValueError):
+            model.mean_loss_db(0.0)

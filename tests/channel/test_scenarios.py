@@ -1,0 +1,95 @@
+"""Unit tests for the named evaluation scenarios."""
+
+import pytest
+
+from repro.channel.link import LinkChannel
+from repro.channel.scenarios import (
+    MOBILITY_SPEEDS_MPH,
+    SCENARIOS,
+    get_scenario,
+    mobility_scenario,
+    nlos_office_positions,
+    nlos_office_scenario,
+)
+
+
+class TestPresets:
+    def test_six_scenarios_exist(self):
+        assert set(SCENARIOS) == {
+            "outdoor", "classroom", "office", "dormitory", "library", "mall"
+        }
+
+    def test_outdoor_has_no_interference(self):
+        assert get_scenario("outdoor").interference() is None
+
+    def test_indoor_scenarios_have_interference(self):
+        for name in ("office", "dormitory", "library", "mall"):
+            assert get_scenario(name).interference() is not None
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_scenario("moon-base")
+
+    def test_interference_severity_ordering(self):
+        # The paper describes the mall/library as the most interfered.
+        duties = {name: s.interference_duty for name, s in SCENARIOS.items()}
+        assert duties["mall"] >= duties["library"] >= duties["dormitory"]
+        assert duties["dormitory"] >= duties["office"] >= duties["classroom"]
+        assert duties["outdoor"] == 0.0
+
+    def test_path_loss_ordering(self):
+        exponents = {name: s.path_loss_exponent for name, s in SCENARIOS.items()}
+        assert exponents["outdoor"] < exponents["classroom"]
+        assert exponents["classroom"] < exponents["mall"]
+
+    def test_link_builder(self):
+        link = get_scenario("office").link(10.0)
+        assert isinstance(link, LinkChannel)
+        assert link.distance_m == 10.0
+        assert link.multipath is not None
+
+    def test_outdoor_link_has_no_multipath(self):
+        assert get_scenario("outdoor").link(10.0).multipath is None
+
+
+class TestNlos:
+    def test_four_positions(self):
+        positions = nlos_office_positions()
+        assert set(positions) == {"S1", "S2", "S3", "S4"}
+
+    def test_s3_closer_but_more_walls_than_s2(self):
+        positions = nlos_office_positions()
+        d2, w2 = positions["S2"]
+        d3, w3 = positions["S3"]
+        assert d3 < d2 and w3 > w2
+
+    def test_wall_budget(self):
+        scenario = nlos_office_scenario(2, wall_loss_db_per_wall=6.0)
+        assert scenario.wall_loss_db == 12.0
+
+    def test_zero_walls_matches_office(self):
+        scenario = nlos_office_scenario(0)
+        assert scenario.wall_loss_db == 0.0
+        assert scenario.path_loss_exponent == SCENARIOS["office"].path_loss_exponent
+
+
+class TestMobility:
+    def test_paper_speeds(self):
+        assert MOBILITY_SPEEDS_MPH == {
+            "walking": 3.4, "running": 5.3, "bicycle": 9.3
+        }
+
+    def test_speed_conversion(self):
+        scenario = mobility_scenario(9.3)
+        assert scenario.speed_m_s == pytest.approx(9.3 * 0.44704)
+
+    def test_body_loss_applied(self):
+        assert mobility_scenario(3.4).wall_loss_db > 0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            mobility_scenario(0.0)
+
+    def test_link_carries_speed(self):
+        link = mobility_scenario(5.3).link(10.0)
+        assert link.speed_m_s > 0

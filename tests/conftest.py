@@ -1,0 +1,33 @@
+"""Shared fixtures for the SymBee reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; per-test isolation via fixed seed."""
+    return np.random.default_rng(0xC7C)
+
+
+@pytest.fixture(scope="session")
+def ideal_link():
+    """A no-channel SymBee link shared by read-only tests."""
+    from repro.core.link import SymBeeLink
+
+    return SymBeeLink()
+
+
+@pytest.fixture(scope="session")
+def clean_capture():
+    """One noiseless end-to-end capture with known bits (session-cached).
+
+    Returns ``(link, bits, result)`` where ``result.phases`` is populated.
+    Tests must not mutate any of it.
+    """
+    from repro.core.link import SymBeeLink
+
+    link = SymBeeLink(include_noise=False)
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 0]
+    result = link.send_bits(bits, np.random.default_rng(1), keep_phases=True)
+    return link, bits, result

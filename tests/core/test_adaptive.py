@@ -1,0 +1,147 @@
+"""Unit tests for link-quality estimation and adaptive coding."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveCoding, LinkQualityEstimator
+from repro.experiments.common import link_at_snr
+
+
+class TestLinkQualityEstimator:
+    def test_prior_is_half(self):
+        assert LinkQualityEstimator().phase_error_probability == 0.5
+
+    def test_clean_frame_gives_zero(self):
+        estimator = LinkQualityEstimator()
+        estimator.observe([1, 0, 1], [84, 0, 84])
+        assert estimator.phase_error_probability == 0.0
+        assert estimator.estimated_ber == 0.0
+
+    def test_symmetric_error_accounting(self):
+        estimator = LinkQualityEstimator()
+        # bit 1 with 74 votes: 10 errors; bit 0 with 10 votes: 10 errors.
+        estimator.observe([1, 0], [74, 10])
+        assert estimator.phase_error_probability == pytest.approx(20 / 168)
+
+    def test_reset(self):
+        estimator = LinkQualityEstimator()
+        estimator.observe([1], [50])
+        estimator.reset()
+        assert estimator.samples == 0
+
+    def test_confidence_interval_shrinks(self):
+        estimator = LinkQualityEstimator()
+        estimator.observe([1], [74])
+        wide = estimator.confidence_interval()
+        for _ in range(50):
+            estimator.observe([1] * 10, [74] * 10)
+        narrow = estimator.confidence_interval()
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+        assert narrow[0] <= estimator.phase_error_probability <= narrow[1]
+
+    def test_tracks_real_link_quality(self, rng):
+        clean, noisy = LinkQualityEstimator(), LinkQualityEstimator()
+        for estimator, snr in ((clean, 15.0), (noisy, -4.0)):
+            link = link_at_snr(snr)
+            for _ in range(3):
+                result = link.send_bits(
+                    rng.integers(0, 2, 32), rng, decode_synchronized=False
+                )
+                estimator.observe(result.decoded_bits, result.counts)
+        assert clean.estimated_ber < 0.01
+        assert noisy.phase_error_probability > clean.phase_error_probability
+
+
+class TestAdaptiveCoding:
+    def test_defaults_to_coding_without_evidence(self):
+        decision = AdaptiveCoding().decide(LinkQualityEstimator())
+        assert decision.use_coding
+
+    def test_clean_link_disables_coding(self):
+        estimator = LinkQualityEstimator()
+        estimator.observe([1] * 20, [84] * 20)
+        decision = AdaptiveCoding(min_samples=84).decide(estimator)
+        assert not decision.use_coding
+        assert decision.goodput_uncoded > decision.goodput_coded
+
+    def test_bad_link_enables_coding(self):
+        estimator = LinkQualityEstimator()
+        # Votes hovering near the boundary: high Pr_eps.
+        estimator.observe([1] * 20, [46] * 20)
+        decision = AdaptiveCoding(min_samples=84).decide(estimator)
+        assert decision.use_coding
+        assert decision.estimated_ber > 0.1
+
+    def test_goodput_model_consistency(self):
+        policy = AdaptiveCoding()
+        # At BER 0 the uncoded frame always survives; coded pays the rate.
+        assert policy._uncoded_goodput(0.0) == pytest.approx(1.0)
+        assert policy._coded_goodput(0.0) == pytest.approx(4 / 7)
+        # At moderate BER the frame-level picture flips: a 2% BER kills
+        # most 48-bit uncoded frames while coded blocks mostly survive.
+        assert policy._coded_goodput(0.02) > policy._uncoded_goodput(0.02)
+        # At terrible BER everything collapses.
+        assert policy._coded_goodput(0.5) < 0.01
+
+    def test_crossover_is_where_frames_start_dying(self):
+        policy = AdaptiveCoding(frame_bits=48)
+        coding_better = [
+            policy._coded_goodput(b) > policy._uncoded_goodput(b)
+            for b in (0.001, 0.005, 0.02, 0.1)
+        ]
+        # Monotone switch from 'uncoded wins' to 'coded wins'.
+        assert coding_better == sorted(coding_better)
+        assert not coding_better[0] and coding_better[-1]
+
+
+class TestAdaptiveFec:
+    def _estimator_with_counts(self, count, n=20):
+        from repro.core.adaptive import LinkQualityEstimator
+
+        estimator = LinkQualityEstimator()
+        estimator.observe([1] * n, [count] * n)
+        return estimator
+
+    def test_robust_default_is_conv(self):
+        from repro.core.adaptive import AdaptiveFec, LinkQualityEstimator
+
+        decision = AdaptiveFec().decide(LinkQualityEstimator())
+        assert decision.scheme == "conv"
+        assert decision.use_coding
+
+    def test_clean_link_uncoded(self):
+        from repro.core.adaptive import AdaptiveFec
+
+        policy = AdaptiveFec(min_samples=84)
+        decision = policy.decide(self._estimator_with_counts(84))
+        assert decision.scheme == "uncoded"
+        assert not decision.use_coding
+
+    def test_moderate_ber_selects_conv(self):
+        from repro.core.adaptive import AdaptiveFec
+
+        policy = AdaptiveFec(frame_bits=48, min_samples=84)
+        # Counts near 50/84: Pr_eps ~0.4, vote BER a few percent — the
+        # convolutional code's sweet spot.
+        decision = policy.decide(self._estimator_with_counts(50))
+        assert 0.01 < decision.estimated_ber < 0.12
+        assert decision.scheme == "conv"
+
+    def test_heavy_ber_prefers_some_coding(self):
+        from repro.core.adaptive import AdaptiveFec
+
+        policy = AdaptiveFec(frame_bits=48, min_samples=84)
+        decision = policy.decide(self._estimator_with_counts(45))
+        assert decision.scheme in ("hamming", "conv")
+
+    def test_goodput_models_ordering_sane(self):
+        from repro.core.adaptive import AdaptiveFec
+
+        policy = AdaptiveFec(frame_bits=48)
+        # At zero BER: uncoded 1.0 > hamming 4/7 > conv 1/2.
+        assert policy._uncoded_goodput(0.0) == pytest.approx(1.0)
+        assert policy._coded_goodput(0.0) == pytest.approx(4 / 7)
+        assert policy._conv_goodput(0.0) == pytest.approx(0.5)
+        # In the conv sweet spot it dominates.
+        assert policy._conv_goodput(0.05) > policy._coded_goodput(0.05)
+        assert policy._conv_goodput(0.05) > policy._uncoded_goodput(0.05)

@@ -1,0 +1,162 @@
+"""Unit tests for the SymBee decoder (sliding window + synchronized)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    SYMBEE_STABLE_PHASE,
+    WIFI_SAMPLE_RATE_20MHZ,
+    WIFI_SAMPLE_RATE_40MHZ,
+)
+from repro.core.decoder import SymBeeDecoder
+from repro.core.encoder import SymBeeEncoder
+from repro.zigbee.oqpsk import OqpskModulator
+
+
+def phases_for_bits(bits, sample_rate=WIFI_SAMPLE_RATE_20MHZ):
+    """Noiseless baseband phase stream for a raw SymBee bit sequence."""
+    enc = SymBeeEncoder()
+    mod = OqpskModulator(sample_rate)
+    symbols = []
+    for bit in bits:
+        symbols.extend(enc.symbols_for_bit(bit))
+    wf = mod.modulate_symbols(symbols)
+    decoder = SymBeeDecoder(sample_rate=sample_rate, cfo_correction=None)
+    return decoder.phases(wf), decoder
+
+
+class TestConstruction:
+    def test_20msps_geometry(self):
+        d = SymBeeDecoder()
+        assert (d.lag, d.window, d.bit_period) == (16, 84, 640)
+        assert d.tau == 10 and d.tau_sync == 42
+
+    def test_40msps_geometry(self):
+        d = SymBeeDecoder(sample_rate=WIFI_SAMPLE_RATE_40MHZ)
+        assert (d.lag, d.window, d.bit_period) == (32, 168, 1280)
+        assert d.tau == 20 and d.tau_sync == 84
+
+    def test_custom_tau(self):
+        assert SymBeeDecoder(tau=5).tau == 5
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            SymBeeDecoder(tau=42)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SymBeeDecoder(sample_rate=30e6)
+
+
+class TestPhases:
+    def test_cfo_correction_applied(self):
+        d = SymBeeDecoder(cfo_correction=SYMBEE_STABLE_PHASE)
+        tone = np.exp(-1j * 2 * np.pi * 0.5e6 * np.arange(200) / 20e6)
+        # Raw dp would be +4pi/5; with correction it wraps to -2pi/5.
+        out = d.phases(tone)
+        assert np.allclose(out, SYMBEE_STABLE_PHASE * 2 - 2 * np.pi)
+
+    def test_no_correction(self):
+        d = SymBeeDecoder(cfo_correction=None)
+        tone = np.exp(-1j * 2 * np.pi * 0.5e6 * np.arange(200) / 20e6)
+        assert np.allclose(d.phases(tone), SYMBEE_STABLE_PHASE)
+
+
+class TestUnsynchronizedDetection:
+    def test_detects_single_bit1(self):
+        phases, decoder = phases_for_bits([1])
+        detections = decoder.detect_bits(phases)
+        assert any(d.bit == 1 for d in detections)
+
+    def test_detects_single_bit0(self):
+        phases, decoder = phases_for_bits([0])
+        detections = decoder.detect_bits(phases)
+        assert any(d.bit == 0 for d in detections)
+
+    def test_alternating_sequence_order(self):
+        phases, decoder = phases_for_bits([0, 1, 0, 1])
+        bits = decoder.decode_unsynchronized(phases)
+        # All four bits appear, in order (extra junction detections may
+        # interleave — the paper's F/P phenomenon — but subsequence holds).
+        it = iter(bits)
+        assert all(b in it for b in [0, 1, 0, 1])
+
+    def test_empty_phase_stream(self):
+        decoder = SymBeeDecoder()
+        assert decoder.detect_bits(np.array([])) == []
+
+    def test_pure_noise_rarely_fires(self, rng):
+        decoder = SymBeeDecoder()
+        phases = rng.uniform(-np.pi, np.pi, 50_000)
+        assert len(decoder.detect_bits(phases)) == 0
+
+    def test_tau_zero_needs_perfect_window(self):
+        phases, decoder = phases_for_bits([1])
+        flipped = phases.copy()
+        # Corrupt one sample inside every window of the plateau.
+        plateau = np.flatnonzero(np.abs(phases - SYMBEE_STABLE_PHASE) < 1e-9)
+        flipped[plateau[::40]] = -0.1
+        strict = decoder.detect_bits(flipped, tau=0)
+        tolerant = decoder.detect_bits(flipped, tau=10)
+        assert len(tolerant) >= len(strict)
+
+    def test_detection_index_near_plateau(self):
+        from repro.core.link import stable_window_offset
+
+        phases, decoder = phases_for_bits([1])
+        detections = [d for d in decoder.detect_bits(phases) if d.bit == 1]
+        plateau_start = stable_window_offset(decoder.sample_rate)
+        assert any(abs(d.index - plateau_start) < 40 for d in detections)
+
+
+class TestSynchronizedDecoding:
+    def test_clean_roundtrip(self):
+        from repro.core.link import stable_window_offset
+
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        phases, decoder = phases_for_bits(bits)
+        start = stable_window_offset(decoder.sample_rate)
+        result = decoder.decode_synchronized(phases, start, len(bits))
+        assert list(result.bits) == bits
+
+    def test_counts_reflect_bits(self):
+        from repro.core.link import stable_window_offset
+
+        bits = [1, 0]
+        phases, decoder = phases_for_bits(bits)
+        result = decoder.decode_synchronized(
+            phases, stable_window_offset(decoder.sample_rate), 2
+        )
+        assert result.counts[0] > decoder.tau_sync
+        assert result.counts[1] < decoder.tau_sync
+
+    def test_truncated_stream_drops_tail_bits(self):
+        bits = [1, 0, 1]
+        phases, decoder = phases_for_bits(bits)
+        result = decoder.decode_synchronized(phases[:900], 270, 3)
+        assert len(result.bits) < 3
+
+    def test_negative_start_rejected_gracefully(self):
+        phases, decoder = phases_for_bits([1])
+        result = decoder.decode_synchronized(phases, -5, 1)
+        assert result.bits == ()
+
+    def test_positions_spaced_by_bit_period(self):
+        bits = [1, 1, 1]
+        phases, decoder = phases_for_bits(bits)
+        result = decoder.decode_synchronized(phases, 270, 3)
+        assert np.all(np.diff(result.positions) == decoder.bit_period)
+
+    def test_timing_slop_tolerated(self):
+        # The capture anchor can be off by several samples; the sign run
+        # (~100 samples) absorbs a +-8 sample offset.
+        from repro.core.link import stable_window_offset
+
+        bits = [1, 0, 1, 0, 1]
+        phases, decoder = phases_for_bits(bits)
+        plateau0 = stable_window_offset(decoder.sample_rate)
+        for offset in (-8, -4, 4, 8):
+            result = decoder.decode_synchronized(
+                phases, plateau0 + offset, len(bits)
+            )
+            assert list(result.bits) == bits

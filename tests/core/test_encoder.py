@@ -1,0 +1,87 @@
+"""Unit and property tests for SymBee payload encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoder import PREAMBLE_BITS, SymBeeEncoder
+
+
+class TestByteMapping:
+    def test_low_first_bytes(self):
+        enc = SymBeeEncoder()
+        assert enc.byte_for_bit(1) == 0x76   # symbols (6,7) on air
+        assert enc.byte_for_bit(0) == 0xFE   # symbols (E,F) on air
+
+    def test_high_first_bytes_match_paper(self):
+        enc = SymBeeEncoder(nibble_order="high-first")
+        assert enc.byte_for_bit(1) == 0x67
+        assert enc.byte_for_bit(0) == 0xEF
+
+    def test_on_air_symbols_identical_for_both_orders(self):
+        for order in ("low-first", "high-first"):
+            enc = SymBeeEncoder(nibble_order=order)
+            assert enc.symbols_for_bit(1) == (0x6, 0x7)
+            assert enc.symbols_for_bit(0) == (0xE, 0xF)
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            SymBeeEncoder().byte_for_bit(2)
+
+    def test_invalid_nibble_order(self):
+        with pytest.raises(ValueError):
+            SymBeeEncoder(nibble_order="sideways")
+
+
+class TestEncoding:
+    def test_one_byte_per_bit(self):
+        payload = SymBeeEncoder().encode_bits([0, 1, 1, 0])
+        assert len(payload) == 4
+
+    def test_preamble_prepended(self):
+        enc = SymBeeEncoder()
+        payload = enc.encode_message([1])
+        assert payload[: len(PREAMBLE_BITS)] == bytes(
+            [enc.byte_for_bit(0)] * len(PREAMBLE_BITS)
+        )
+        assert payload[-1] == enc.byte_for_bit(1)
+
+    def test_preamble_is_four_zeros(self):
+        assert PREAMBLE_BITS == (0, 0, 0, 0)
+
+    def test_no_preamble_option(self):
+        payload = SymBeeEncoder().encode_message([1, 0], include_preamble=False)
+        assert len(payload) == 2
+
+    @given(st.lists(st.integers(0, 1), max_size=100))
+    def test_roundtrip_via_payload_decode(self, bits):
+        enc = SymBeeEncoder()
+        assert enc.decode_payload(enc.encode_bits(bits)) == bits
+
+
+class TestZigBeeSideDecode:
+    def test_non_codeword_byte_gives_none(self):
+        assert SymBeeEncoder().decode_payload(b"\x76\x00") is None
+
+    def test_find_preamble(self):
+        enc = SymBeeEncoder()
+        payload = enc.encode_message([1, 0, 1])
+        start = enc.find_preamble(payload)
+        assert start == len(PREAMBLE_BITS)
+        assert enc.decode_payload(payload[start:]) == [1, 0, 1]
+
+    def test_find_preamble_with_junk_prefix(self):
+        enc = SymBeeEncoder()
+        payload = b"\x01\x02" + enc.encode_message([1, 1])
+        start = enc.find_preamble(payload)
+        assert enc.decode_payload(payload[start:]) == [1, 1]
+
+    def test_find_preamble_absent(self):
+        assert SymBeeEncoder().find_preamble(b"\x76\x76\x76") is None
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+    def test_message_recovered_after_preamble(self, bits):
+        enc = SymBeeEncoder()
+        payload = enc.encode_message(bits)
+        start = enc.find_preamble(payload)
+        assert start is not None
+        assert enc.decode_payload(payload[start:]) == bits

@@ -1,0 +1,78 @@
+"""Unit tests for the sender energy model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CMorse, FreeBee
+from repro.core.energy import (
+    CC2420_TX_CURRENT_A,
+    EnergyBudget,
+    SUPPLY_VOLTAGE_V,
+    energy_comparison,
+    packet_level_budget,
+    symbee_budget,
+    tx_current_a,
+)
+
+
+class TestRadioModel:
+    def test_datasheet_points_exact(self):
+        assert tx_current_a(0) == pytest.approx(17.4e-3)
+        assert tx_current_a(-25) == pytest.approx(8.5e-3)
+
+    def test_interpolation_monotone(self):
+        currents = [tx_current_a(p) for p in (-25, -12, -8, -4, -2, 0)]
+        assert currents == sorted(currents)
+
+    def test_clamping_outside_range(self):
+        assert tx_current_a(5) == CC2420_TX_CURRENT_A[0]
+        assert tx_current_a(-40) == CC2420_TX_CURRENT_A[-25]
+
+
+class TestBudgets:
+    def test_symbee_airtime_scales_with_bits(self):
+        small = symbee_budget(64)
+        large = symbee_budget(512)
+        assert large.on_air_s > small.on_air_s
+        # Overhead amortizes: per-bit energy falls with message size.
+        assert large.energy_per_bit_j < small.energy_per_bit_j
+
+    def test_energy_formula(self):
+        budget = EnergyBudget(
+            scheme="x", bits=100, on_air_s=1.0, idle_s=0.0, tx_power_dbm=0.0
+        )
+        assert budget.tx_energy_j == pytest.approx(17.4e-3 * SUPPLY_VOLTAGE_V)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            symbee_budget(0)
+        with pytest.raises(ValueError):
+            packet_level_budget(CMorse(), 0, np.random.default_rng(0))
+
+    def test_packet_level_charges_idle_gaps(self, rng):
+        budget = packet_level_budget(FreeBee(), 64, rng)
+        assert budget.idle_s > budget.on_air_s  # beacons are mostly gaps
+
+    def test_lower_power_cheaper(self):
+        assert (
+            symbee_budget(128, tx_power_dbm=-10).total_energy_j
+            < symbee_budget(128, tx_power_dbm=0).total_energy_j
+        )
+
+
+class TestComparison:
+    def test_symbee_wins_by_an_order_of_magnitude(self, rng):
+        budgets = energy_comparison(256, rng)
+        symbee = next(b for b in budgets if b.scheme == "SymBee")
+        for budget in budgets:
+            if budget.scheme == "SymBee":
+                continue
+            assert budget.energy_per_bit_j > 5 * symbee.energy_per_bit_j, (
+                budget.scheme
+            )
+
+    def test_all_schemes_present(self, rng):
+        names = {b.scheme for b in energy_comparison(64, rng)}
+        assert names == {
+            "SymBee", "FreeBee", "A-FreeBee", "EMF", "DCTC", "C-Morse"
+        }

@@ -1,0 +1,139 @@
+"""Integration tests for the end-to-end SymBee link."""
+
+import numpy as np
+import pytest
+
+from repro.channel.scenarios import get_scenario
+from repro.core.link import LinkResult, SymBeeLink, stable_window_offset
+
+
+class TestStableWindowOffset:
+    def test_offset_at_20msps(self):
+        # Measured property of the (E,F) waveform; regression-pinned.
+        assert stable_window_offset(20e6) == 270
+
+    def test_offset_scales_at_40msps(self):
+        assert stable_window_offset(40e6) == 2 * stable_window_offset(20e6)
+
+
+class TestIdealChannel:
+    def test_perfect_delivery(self, ideal_link, rng):
+        bits = list(rng.integers(0, 2, 80))
+        result = ideal_link.send_bits(bits, rng)
+        assert result.preamble_captured
+        assert result.bit_errors == 0
+        assert list(result.decoded_bits) == bits
+
+    def test_capture_matches_truth(self, ideal_link, rng):
+        result = ideal_link.send_bits([1, 0, 1], rng)
+        assert abs(result.captured_data_start - result.true_data_start) <= 16
+
+    def test_empty_message(self, ideal_link, rng):
+        result = ideal_link.send_bits([], rng)
+        assert result.n_bits == 0
+        assert result.ber == 0.0
+
+    def test_all_zero_message(self, ideal_link, rng):
+        # All-zero data extends the preamble pattern; earliest-capture
+        # semantics must still anchor on the true preamble.
+        bits = [0] * 24
+        result = ideal_link.send_bits(bits, rng)
+        assert result.bit_errors == 0
+
+    def test_all_one_message(self, ideal_link, rng):
+        result = ideal_link.send_bits([1] * 24, rng)
+        assert result.bit_errors == 0
+
+    def test_counts_cover_all_bits(self, ideal_link, rng):
+        bits = [1, 0] * 8
+        result = ideal_link.send_bits(bits, rng)
+        assert len(result.counts) == len(bits)
+
+    def test_ground_truth_decoding_mode(self, ideal_link, rng):
+        result = ideal_link.send_bits([1, 0, 1, 1], rng, decode_synchronized=False)
+        assert result.preamble_captured
+        assert result.bit_errors == 0
+
+    def test_phases_kept_on_request(self, ideal_link, rng):
+        result = ideal_link.send_bits([1], rng, keep_phases=True)
+        assert result.phases is not None
+        result2 = ideal_link.send_bits([1], rng)
+        assert result2.phases is None
+
+    def test_max_frame_fills_zigbee_payload(self, rng):
+        link = SymBeeLink()
+        bits = list(rng.integers(0, 2, 112))  # + 4 preamble = 116 bytes
+        result = link.send_bits(bits, rng)
+        assert result.bit_errors == 0
+
+    def test_oversized_message_rejected(self, ideal_link, rng):
+        with pytest.raises(ValueError):
+            ideal_link.send_bits([0] * 120, rng)
+
+
+class TestLinkResultProperties:
+    def test_ber_of_lost_frame_is_one(self):
+        result = LinkResult(
+            sent_bits=(1, 0), decoded_bits=(), preamble_captured=False,
+            bit_errors=2, counts=(), rx_power_dbm=-80.0, snr_db=5.0,
+            captured_data_start=None, true_data_start=0,
+        )
+        assert result.ber == 1.0
+        assert result.delivered_bits == 0
+
+    def test_partial_errors(self):
+        result = LinkResult(
+            sent_bits=(1, 0, 1, 1), decoded_bits=(1, 1, 1, 1),
+            preamble_captured=True, bit_errors=1, counts=(80, 60, 80, 80),
+            rx_power_dbm=-60.0, snr_db=30.0, captured_data_start=100,
+            true_data_start=100,
+        )
+        assert result.ber == 0.25
+        assert result.delivered_bits == 3
+
+
+class TestChannelIntegration:
+    def test_power_accounting(self, rng):
+        scenario = get_scenario("outdoor")
+        link = SymBeeLink(link_channel=scenario.link(10.0))
+        result = link.send_bits([1, 0], rng)
+        expected = link.link_channel.mean_received_power_dbm(0.0)
+        assert result.rx_power_dbm == pytest.approx(expected, abs=10.0)
+
+    def test_snr_reported(self, rng):
+        link = SymBeeLink(tx_power_dbm=-90.0)
+        result = link.send_bits([1], rng)
+        # Noise floor is about -95 dBm at 20 MHz / NF 6.
+        assert result.snr_db == pytest.approx(5.0, abs=1.0)
+
+    def test_interference_injected(self, rng):
+        scenario = get_scenario("mall")
+        link = SymBeeLink(
+            link_channel=scenario.link(20.0),
+            interference=scenario.interference(),
+        )
+        result = link.send_bits([1, 0] * 20, rng)
+        assert isinstance(result.preamble_captured, bool)
+
+    def test_different_channel_pairs_work(self, rng):
+        # Any overlapping ZigBee/WiFi pair must decode identically
+        # thanks to the constant CFO compensation (Appendix B).
+        for z_ch, w_ch in ((11, 1), (12, 1), (14, 2), (18, 6)):
+            link = SymBeeLink(zigbee_channel=z_ch, wifi_channel=w_ch)
+            result = link.send_bits([1, 0, 1, 0], rng)
+            assert result.bit_errors == 0, (z_ch, w_ch)
+
+
+class TestSendFrame:
+    def test_frame_roundtrip(self, rng):
+        link = SymBeeLink()
+        result, frame = link.send_frame([1, 0, 1, 1, 0], sequence=7, rng=rng)
+        assert result.bit_errors == 0
+        assert frame is not None
+        assert frame.crc_ok
+        assert list(frame.data_bits) == [1, 0, 1, 1, 0]
+        assert frame.sequence == 7
+
+    def test_frame_requires_rng(self):
+        with pytest.raises(ValueError):
+            SymBeeLink().send_frame([1], rng=None)

@@ -1,0 +1,65 @@
+"""Property-based tests on the end-to-end link (hypothesis).
+
+Full-PHY rounds are expensive, so example counts stay small; the
+properties themselves are the strongest in the suite — arbitrary
+payloads and channel pairs must round-trip bit-exactly on a clean link.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.link import SymBeeLink
+from repro.zigbee.channels import overlapping_wifi_channels
+
+_LINK = SymBeeLink(include_noise=False)
+
+
+class TestRoundtripProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_payload_roundtrips_noiselessly(self, bits):
+        result = _LINK.send_bits(bits, np.random.default_rng(1))
+        assert result.preamble_captured
+        assert list(result.decoded_bits) == bits
+
+    @given(
+        st.integers(11, 26).flatmap(
+            lambda z: st.sampled_from(
+                [(z, w) for w in overlapping_wifi_channels(z)] or [(13, 1)]
+            )
+        )
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_overlapping_channel_pair_works(self, pair):
+        zigbee_channel, wifi_channel = pair
+        link = SymBeeLink(
+            zigbee_channel=zigbee_channel,
+            wifi_channel=wifi_channel,
+            include_noise=False,
+        )
+        bits = [1, 0, 1, 1, 0]
+        result = link.send_bits(bits, np.random.default_rng(2))
+        assert list(result.decoded_bits) == bits, pair
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_frame_sequence_and_data_survive(self, seq, data_byte):
+        data = [(data_byte >> (7 - i)) & 1 for i in range(8)]
+        result, frame = _LINK.send_frame(
+            data, sequence=seq, rng=np.random.default_rng(3)
+        )
+        assert frame is not None and frame.crc_ok
+        assert frame.sequence == seq
+        assert list(frame.data_bits) == data
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=24))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_decoded_length_never_exceeds_sent(self, bits):
+        result = _LINK.send_bits(bits, np.random.default_rng(4))
+        assert len(result.decoded_bits) <= len(bits)
+        assert 0 <= result.bit_errors <= len(bits)
+        assert 0.0 <= result.ber <= 1.0

@@ -1,0 +1,94 @@
+"""Residual carrier offset: impairment and tracking (extension).
+
+The paper's Appendix B only compensates channel-grid offsets; real
+crystals add up to tens of kHz more.  These tests pin the reproduction's
+tolerance envelope and the preamble-based tracking extension.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.link import SymBeeLink
+from repro.core.preamble import capture_preamble
+
+
+class TestImpairmentModel:
+    def test_zero_offset_is_default(self):
+        assert SymBeeLink().residual_cfo_hz == 0.0
+
+    def test_plateau_shift_matches_theory(self, rng):
+        # dp shifts by -2*pi*f*lag/fs: +50 kHz -> -0.251 rad.
+        link = SymBeeLink(include_noise=False, residual_cfo_hz=50e3)
+        result = link.send_bits([0, 0, 0, 0], rng, keep_phases=True)
+        position = link.true_bit_positions(1)[0]
+        plateau = result.phases[position + 20 : position + 60]
+        expected = -0.8 * np.pi - 2 * np.pi * 50e3 * 16 / 20e6
+        assert np.median(plateau) == pytest.approx(expected, abs=0.02)
+
+    @pytest.mark.parametrize("cfo_hz", [-60e3, -25e3, 25e3, 60e3])
+    def test_crystal_range_tolerated(self, cfo_hz, rng):
+        # +-25 ppm crystals (~+-60 kHz at 2.44 GHz) must decode cleanly
+        # at a healthy SNR even without tracking.
+        link = SymBeeLink(tx_power_dbm=-85.0, residual_cfo_hz=cfo_hz)
+        bits = list(rng.integers(0, 2, 40))
+        result = link.send_bits(bits, rng)
+        assert result.preamble_captured
+        assert result.bit_errors == 0
+
+    def test_extreme_offset_breaks_the_link(self, rng):
+        # Near +-100 kHz the bit-0 plateau reaches the +-pi wrap and the
+        # absolute sign test fails — the documented limitation.
+        link = SymBeeLink(tx_power_dbm=-85.0, residual_cfo_hz=140e3)
+        errors = 0
+        for _ in range(4):
+            result = link.send_bits([1, 0] * 12, rng)
+            errors += result.n_bits - result.delivered_bits
+        assert errors > 0
+
+
+class TestTracking:
+    def test_mean_angle_estimates_deviation(self, rng):
+        link = SymBeeLink(include_noise=False, residual_cfo_hz=40e3)
+        result = link.send_bits([1, 0, 1], rng, keep_phases=True)
+        pre = capture_preamble(result.phases, link.decoder)
+        expected = -0.8 * np.pi - 2 * np.pi * 40e3 * 16 / 20e6
+        assert pre.mean_angle == pytest.approx(expected, abs=0.05)
+
+    def test_clean_preamble_mean_angle_at_level(self, clean_capture):
+        link, _, result = clean_capture
+        pre = capture_preamble(result.phases, link.decoder)
+        assert pre.mean_angle == pytest.approx(-0.8 * np.pi, abs=0.03)
+
+    def test_tracking_reduces_errors_at_margin(self, rng):
+        # SNR ~6 dB with +60 kHz offset: the shifted plateau loses votes
+        # to wrap noise; de-rotation recovers a large fraction.
+        errors = {}
+        for track in (False, True):
+            link = SymBeeLink(
+                tx_power_dbm=-89.0, residual_cfo_hz=60e3,
+                track_residual_cfo=track,
+            )
+            total = 0
+            for _ in range(10):
+                result = link.send_bits(rng.integers(0, 2, 48), rng)
+                total += result.n_bits - result.delivered_bits
+            errors[track] = total
+        assert errors[True] <= errors[False]
+        assert errors[True] < 0.75 * errors[False] + 5
+
+    def test_tracking_harmless_without_offset(self, rng):
+        link = SymBeeLink(track_residual_cfo=True)
+        result = link.send_bits([1, 0, 1, 1, 0], rng)
+        assert result.bit_errors == 0
+
+    def test_header_ghosts_rejected_under_cfo(self, rng):
+        # The rotation-invariant concentration gate must keep capture
+        # anchored on the real preamble even when the offset pushes the
+        # PHY-preamble fold over the count floor.
+        link = SymBeeLink(tx_power_dbm=-85.0, residual_cfo_hz=60e3)
+        for _ in range(5):
+            result = link.send_bits(rng.integers(0, 2, 40), rng)
+            assert result.preamble_captured
+            assert (
+                abs(result.captured_data_start - result.true_data_start) <= 20
+            )

@@ -1,0 +1,60 @@
+"""Unit tests for repro.dsp.noise."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.noise import awgn, complex_gaussian, noise_for_snr
+from repro.dsp.signal_ops import signal_power
+
+
+class TestComplexGaussian:
+    def test_power_calibration(self, rng):
+        noise = complex_gaussian(200_000, 0.5, rng)
+        assert signal_power(noise) == pytest.approx(0.5, rel=0.02)
+
+    def test_zero_power_gives_zeros(self, rng):
+        assert np.all(complex_gaussian(100, 0.0, rng) == 0)
+
+    def test_zero_length(self, rng):
+        assert complex_gaussian(0, 1.0, rng).size == 0
+
+    def test_negative_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            complex_gaussian(-1, 1.0, rng)
+
+    def test_negative_power_raises(self, rng):
+        with pytest.raises(ValueError):
+            complex_gaussian(10, -1.0, rng)
+
+    def test_circular_symmetry(self, rng):
+        noise = complex_gaussian(200_000, 1.0, rng)
+        assert np.mean(noise.real**2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(noise.imag**2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(noise.real * noise.imag) == pytest.approx(0.0, abs=0.01)
+
+    def test_deterministic_for_same_seed(self):
+        a = complex_gaussian(32, 1.0, np.random.default_rng(7))
+        b = complex_gaussian(32, 1.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestNoiseForSnr:
+    def test_snr_calibration(self, rng):
+        signal = np.exp(1j * 0.01 * np.arange(100_000))
+        noise = noise_for_snr(signal, 7.0, rng)
+        ratio = signal_power(signal) / signal_power(noise)
+        assert 10 * np.log10(ratio) == pytest.approx(7.0, abs=0.2)
+
+    def test_reference_power_override(self, rng):
+        # A mostly-silent vector with a known on-air power reference.
+        signal = np.zeros(100_000, dtype=complex)
+        signal[:1000] = 1.0
+        noise = noise_for_snr(signal, 0.0, rng, reference_power=1.0)
+        assert signal_power(noise) == pytest.approx(1.0, rel=0.05)
+
+    def test_awgn_adds_to_signal(self, rng):
+        signal = np.ones(1000, dtype=complex)
+        noisy = awgn(signal, 40.0, rng)
+        # At 40 dB the perturbation is tiny but nonzero.
+        assert not np.array_equal(noisy, signal)
+        assert np.allclose(noisy, signal, atol=0.2)

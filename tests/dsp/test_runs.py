@@ -1,0 +1,88 @@
+"""Unit and property tests for repro.dsp.runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.runs import longest_run, run_starts, sliding_count
+
+
+def naive_longest_run(mask):
+    best = cur = 0
+    for m in mask:
+        cur = cur + 1 if m else 0
+        best = max(best, cur)
+    return best
+
+
+class TestLongestRun:
+    def test_empty(self):
+        assert longest_run([]) == 0
+
+    def test_all_false(self):
+        assert longest_run([False] * 5) == 0
+
+    def test_all_true(self):
+        assert longest_run([True] * 5) == 5
+
+    def test_interior_run(self):
+        assert longest_run([False, True, True, True, False, True]) == 3
+
+    def test_run_at_end(self):
+        assert longest_run([False, True, True]) == 2
+
+    @given(st.lists(st.booleans(), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive(self, mask):
+        assert longest_run(mask) == naive_longest_run(mask)
+
+
+class TestRunStarts:
+    def test_finds_long_runs_only(self):
+        mask = [True, False, True, True, True, False, True, True]
+        assert list(run_starts(mask, 2)) == [2, 6]
+
+    def test_min_length_one_finds_all(self):
+        mask = [True, False, True]
+        assert list(run_starts(mask, 1)) == [0, 2]
+
+    def test_empty_mask(self):
+        assert run_starts([], 1).size == 0
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            run_starts([True], 0)
+
+    @given(st.lists(st.booleans(), max_size=100), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_starts_are_maximal_runs(self, mask, min_length):
+        starts = run_starts(mask, min_length)
+        for s in starts:
+            # Run begins at s (not before) and lasts >= min_length.
+            assert all(mask[s : s + min_length])
+            assert s == 0 or not mask[s - 1]
+
+
+class TestSlidingCount:
+    def test_basic(self):
+        mask = [True, False, True, True]
+        assert list(sliding_count(mask, 2)) == [1, 1, 2]
+
+    def test_window_equals_length(self):
+        assert list(sliding_count([True, True, False], 3)) == [2]
+
+    def test_window_longer_than_input(self):
+        assert sliding_count([True], 5).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_count([True], 0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=150), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive(self, mask, window):
+        counts = sliding_count(mask, window)
+        naive = [
+            sum(mask[i : i + window]) for i in range(len(mask) - window + 1)
+        ]
+        assert list(counts) == naive

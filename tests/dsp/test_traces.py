@@ -1,0 +1,100 @@
+"""Unit tests for capture trace I/O and trace mixing."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal_ops import signal_power
+from repro.dsp.traces import load_capture, mix_at_sinr, save_capture
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, rng):
+        samples = rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+        path = tmp_path / "capture.npz"
+        save_capture(path, samples, 20e6, metadata={"site": "mall", "d": 25})
+        loaded, rate, meta = load_capture(path)
+        assert np.array_equal(loaded, samples.astype(np.complex128))
+        assert rate == 20e6
+        assert meta == {"site": "mall", "d": 25}
+
+    def test_default_metadata(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_capture(path, np.zeros(4, complex), 40e6)
+        _, rate, meta = load_capture(path)
+        assert rate == 40e6
+        assert meta == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, samples=np.zeros(2, complex), sample_rate=20e6,
+                 metadata="{}", format_version=99)
+        with pytest.raises(ValueError, match="version"):
+            load_capture(path)
+
+
+class TestMixing:
+    def test_target_sinr_achieved(self, rng):
+        signal = np.exp(1j * 0.2 * np.arange(50_000))
+        interference = rng.standard_normal(50_000) + 1j * rng.standard_normal(50_000)
+        mixed = mix_at_sinr(signal, interference, 7.0)
+        residual = mixed - signal
+        sinr = 10 * np.log10(signal_power(signal) / signal_power(residual))
+        assert sinr == pytest.approx(7.0, abs=0.2)
+
+    def test_offset_placement(self, rng):
+        signal = np.zeros(100, complex) + 1.0
+        interference = np.ones(10, complex)
+        mixed = mix_at_sinr(signal, interference, 0.0, offset=50)
+        assert np.allclose(mixed[:50], 1.0)
+        assert not np.allclose(mixed[50:60], 1.0)
+
+    def test_interference_clipped_to_signal(self, rng):
+        signal = np.ones(20, complex)
+        interference = np.ones(100, complex)
+        mixed = mix_at_sinr(signal, interference, 0.0, offset=10)
+        assert mixed.size == 20
+
+    def test_inputs_untouched(self, rng):
+        signal = np.ones(10, complex)
+        interference = np.ones(10, complex)
+        mix_at_sinr(signal, interference, 0.0)
+        assert np.allclose(signal, 1.0)
+        assert np.allclose(interference, 1.0)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            mix_at_sinr(np.ones(5, complex), np.ones(2, complex), 0.0, offset=9)
+
+    def test_empty_interference_is_identity(self):
+        signal = np.ones(5, complex)
+        assert np.array_equal(mix_at_sinr(signal, np.array([]), 0.0), signal)
+
+    def test_trace_driven_symbee_decode(self, rng, tmp_path):
+        """The paper's Section VIII-E workflow on simulated traces."""
+        from repro.core.link import SymBeeLink
+        from repro.wifi.ofdm import OfdmTransmitter
+
+        link = SymBeeLink(include_noise=False)
+        bits = [1, 0] * 12
+        payload = link.encoder.encode_message(bits)
+        frame = link.transmitter.build_frame(payload)
+        clean = link.transmitter.transmit_frame(frame)
+        clean = link.front_end.downconvert(clean, link.transmitter.center_frequency)
+
+        wifi_trace = OfdmTransmitter().burst(300e-6, rng)
+
+        path = tmp_path / "symbee_clean.npz"
+        save_capture(path, clean, 20e6, metadata={"bits": bits})
+        loaded, _, meta = load_capture(path)
+
+        mixed = mix_at_sinr(loaded, wifi_trace, sinr_db=5.0, offset=12_000)
+        phases = link.decoder.phases(mixed)
+        from repro.core.preamble import capture_preamble
+
+        pre = capture_preamble(phases, link.decoder)
+        assert pre is not None
+        decoded = link.decoder.decode_synchronized(
+            phases, pre.data_start, len(meta["bits"])
+        )
+        errors = sum(a != b for a, b in zip(decoded.bits, meta["bits"]))
+        assert errors <= 2

@@ -1,0 +1,24 @@
+"""Smoke coverage: every registered experiment's main() runs end to end.
+
+Run at the minimum Monte-Carlo scale — these tests assert the printers
+and plumbing, not the statistics (the integration tests and benches own
+those).
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+@pytest.fixture(autouse=True)
+def minimum_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.1")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_main_runs(experiment_id, capsys):
+    EXPERIMENTS[experiment_id].main()
+    out = capsys.readouterr().out
+    assert out.strip(), experiment_id
+    # Every printer emits at least one table or headline line.
+    assert ("==" in out) or ("|" in out), experiment_id

@@ -1,0 +1,93 @@
+"""Correctness tests for the analytic/deterministic experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import appendix_phase_values as appendix
+from repro.experiments import fig05_cross_observation as fig05
+from repro.experiments import fig07_stable_phase as fig07
+from repro.experiments import table1_symbol_chips as table1
+
+
+class TestTable1:
+    def test_structure_flags(self):
+        result = table1.run()
+        assert result.cyclic_structure_ok
+        assert result.conjugate_structure_ok
+
+    def test_rows_match_paper_examples(self):
+        result = table1.run()
+        rows = dict(result.rows)
+        assert rows["0"] == "11011001110000110101001000101110"
+        assert rows["F"] == "11001001011000000111011110111000"
+
+    def test_main_prints(self, capsys):
+        table1.main()
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+
+class TestFig05:
+    def test_symbol6_has_stable_region(self):
+        result = fig05.run(symbol=6)
+        assert result.stable_run_samples >= 30
+        assert abs(result.stable_level) == pytest.approx(0.8 * np.pi)
+
+    def test_levels_bounded_by_stable_phase(self):
+        result = fig05.run(symbol=6)
+        assert max(abs(v) for v in result.discrete_levels) <= 0.8 * np.pi + 1e-9
+
+    def test_every_symbol_observable(self):
+        for symbol in range(16):
+            result = fig05.run(symbol=symbol)
+            assert result.phases.size > 0
+
+    def test_main_prints(self, capsys):
+        fig05.run.__wrapped__ if hasattr(fig05.run, "__wrapped__") else None
+        fig05.main()
+        assert "Fig 5" in capsys.readouterr().out
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07.run()
+
+    def test_plateau_lengths(self, result):
+        # 84 stable values (the paper's 4.2 us); our exact-plateau run
+        # includes the boundary sample.
+        assert result.bit1_run >= 84
+        assert result.bit0_run >= 84
+
+    def test_optimality(self, result):
+        assert result.best_other_run < result.bit1_run
+
+    def test_separation_maximal(self, result):
+        assert result.separation_rad == pytest.approx(1.6 * np.pi)
+
+    def test_ranking_topped_by_symbee_pairs(self, result):
+        top_two = {result.ranking[0][1], result.ranking[1][1]}
+        assert top_two == {(0x6, 0x7), (0xE, 0xF)}
+
+
+class TestAppendix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return appendix.run()
+
+    def test_all_derived_levels_present(self, result):
+        assert result.derived_levels_present
+
+    def test_extremes(self, result):
+        assert result.extremes_are_stable_phase
+
+    def test_grid(self, result):
+        assert result.on_pi_over_20_grid
+
+    def test_cfo_constant(self, result):
+        assert result.correction_constant
+
+    def test_every_overlapping_pair_listed(self, result):
+        # 13 WiFi channels x 4 overlapping ZigBee channels, bounded by
+        # band edges: at least 40 pairs.
+        assert len(result.cfo_rows) >= 40

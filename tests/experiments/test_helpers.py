@@ -1,0 +1,95 @@
+"""Unit tests for experiment-internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import BitDetection
+from repro.experiments.fig20_interference_example import SingleBurst
+from repro.experiments.fig22_tau_preamble import _match_detections
+
+
+class TestMatchDetections:
+    def _det(self, index, bit):
+        return BitDetection(index=index, bit=bit, count=80)
+
+    def test_perfect_match(self):
+        detections = [self._det(100, 1), self._det(740, 0)]
+        misses, wrong, fps = _match_detections(
+            detections, [100, 740], [1, 0], tolerance=320
+        )
+        assert (misses, wrong, fps) == (0, 0, 0)
+
+    def test_missed_bit(self):
+        misses, wrong, fps = _match_detections(
+            [self._det(100, 1)], [100, 740], [1, 0], tolerance=320
+        )
+        assert (misses, wrong, fps) == (1, 0, 0)
+
+    def test_wrong_value(self):
+        misses, wrong, fps = _match_detections(
+            [self._det(100, 0)], [100], [1], tolerance=320
+        )
+        assert (misses, wrong, fps) == (0, 1, 0)
+
+    def test_false_positive(self):
+        misses, wrong, fps = _match_detections(
+            [self._det(100, 1), self._det(5000, 1)], [100], [1], tolerance=320
+        )
+        assert (misses, wrong, fps) == (0, 0, 1)
+
+    def test_each_detection_used_once(self):
+        # One detection cannot satisfy two true positions.
+        misses, wrong, fps = _match_detections(
+            [self._det(400, 1)], [300, 500], [1, 1], tolerance=320
+        )
+        assert misses == 1 and fps == 0
+
+    def test_nearest_detection_wins(self):
+        detections = [self._det(90, 1), self._det(180, 0)]
+        misses, wrong, fps = _match_detections(
+            detections, [100], [1], tolerance=320
+        )
+        assert (misses, wrong) == (0, 0)
+        assert fps == 1  # the farther detection is unmatched
+
+    def test_empty_inputs(self):
+        assert _match_detections([], [], [], 320) == (0, 0, 0)
+
+
+class TestSingleBurst:
+    def test_contribution_placement(self, rng):
+        burst = SingleBurst(start_index=1000, duration_s=100e-6, sinr_db=0.0)
+        contributions = burst.contributions(50_000, 1e-6, rng, 2.412e9)
+        assert len(contributions) == 1
+        waveform, start, freq = contributions[0]
+        assert start == 1000
+        assert freq == 2.412e9
+        assert waveform.size >= 100e-6 * 20e6 - 1
+
+    def test_power_scaling(self, rng):
+        from repro.dsp.signal_ops import signal_power
+
+        strong = SingleBurst(0, 100e-6, sinr_db=-10.0)
+        weak = SingleBurst(0, 100e-6, sinr_db=10.0)
+        p_strong = signal_power(strong.contributions(1, 1e-6, rng, 0.0)[0][0])
+        p_weak = signal_power(weak.contributions(1, 1e-6, rng, 0.0)[0][0])
+        assert p_strong == pytest.approx(100 * p_weak, rel=0.01)
+
+
+class TestFig21Validation:
+    def test_data_bits_multiple_of_four(self):
+        from repro.experiments.fig21_hamming import run
+
+        with pytest.raises(ValueError):
+            run(data_bits=50)
+
+
+class TestCliSurvey:
+    def test_survey_runs_at_tiny_scale(self, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "site survey" in out
+        assert "mall" in out

@@ -1,0 +1,54 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_bars, ascii_series
+
+
+class TestSeries:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_series([0, 1, 2], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o" in chart and "x" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_empty_input(self):
+        assert ascii_series([], {}) == "(no data)"
+
+    def test_log_scale_handles_zeros(self):
+        chart = ascii_series([0, 1], {"ber": [0.1, 0.0]}, y_log=True)
+        assert "1e" in chart
+
+    def test_constant_series(self):
+        chart = ascii_series([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_series(
+            [0, 10], {"y": [1, 2]}, x_label="SNR", y_label="BER"
+        )
+        assert "SNR" in chart and "[BER]" in chart
+
+    def test_single_x_value(self):
+        chart = ascii_series([5], {"y": [1.0]})
+        assert "o" in chart
+
+
+class TestBars:
+    def test_scales_to_width(self):
+        chart = ascii_bars(["a", "b"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert 1 <= lines[0].count("#") < 20
+
+    def test_log_scale_compresses_range(self):
+        linear = ascii_bars(["s", "l"], [1.0, 10000.0], width=40)
+        logarithmic = ascii_bars(["s", "l"], [1.0, 10000.0], width=40, log=True)
+        assert linear.splitlines()[0].count("#") <= 1
+        assert logarithmic.splitlines()[0].count("#") >= 1
+
+    def test_values_printed(self):
+        chart = ascii_bars(["x"], [42.5])
+        assert "42.5" in chart
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(no data)"

@@ -1,0 +1,31 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        expected = {
+            "table1", "fig05", "fig07", "fig12", "fig13", "fig14", "fig16",
+            "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+            "appendix", "ext-network", "ext-cfo", "ext-reverse-cti", "ext-energy",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup(self):
+        exp = get_experiment("fig12")
+        assert "BER" in exp.title
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="valid ids"):
+            get_experiment("fig99")
+
+    def test_modules_importable(self):
+        import importlib
+
+        for experiment in EXPERIMENTS.values():
+            module = importlib.import_module(experiment.module)
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are the repo's public face; these tests import each one from
+the examples/ directory and execute its ``main()`` at reduced
+Monte-Carlo scale, asserting on its printed outcome.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.2")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "decoded message:     'SymBee!'" in out
+
+    def test_cross_technology_broadcast(self, capsys):
+        load_example("cross_technology_broadcast").main()
+        out = capsys.readouterr().out
+        assert "both technologies agree" in out
+
+    def test_channel_coordination(self, capsys):
+        load_example("channel_coordination").main()
+        out = capsys.readouterr().out
+        assert "SymBee coordinated" in out
+
+    def test_trace_workflow(self, capsys):
+        load_example("trace_workflow").main()
+        out = capsys.readouterr().out
+        assert "trace-driven SINR sweep" in out
+        assert "0/40" in out
+
+    def test_sensor_upstream(self, capsys):
+        load_example("sensor_upstream").main()
+        out = capsys.readouterr().out
+        assert "delivered readings" in out
+
+    def test_site_survey(self, capsys):
+        load_example("site_survey").main()
+        out = capsys.readouterr().out
+        assert "site survey" in out and "outdoor" in out
+
+    def test_sensor_network(self, capsys):
+        module = load_example("sensor_network")
+        # Reduced run: two cluster sizes, short duration.
+        from repro.channel.scenarios import get_scenario
+
+        result = module.run_cluster(3, get_scenario("office"), duration_s=1.0)
+        assert result.readings_generated > 0
+        assert 0.0 <= result.delivery_ratio <= 1.0
+
+    def test_adaptive_link(self, capsys):
+        module = load_example("adaptive_link")
+        import numpy as np
+
+        delivered, airtime, observations = module.run_epoch(
+            10.0, False, np.random.default_rng(0), n_frames=2
+        )
+        assert delivered == airtime == 96
+        assert len(observations) == 2

@@ -1,0 +1,144 @@
+"""Integration tests for the convergecast network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.scenarios import get_scenario
+from repro.network import ConvergecastNetwork, NetworkResult, NodeConfig
+from repro.network.simulator import TransmissionRecord
+
+
+def small_network(n_nodes=3, interval=0.4, duration=2.0, seed=5,
+                  scenario="office"):
+    nodes = [
+        NodeConfig(node_id=i, distance_m=5.0 + 4.0 * i,
+                   reading_interval_s=interval)
+        for i in range(n_nodes)
+    ]
+    return ConvergecastNetwork(
+        nodes, get_scenario(scenario), sim_duration_s=duration, seed=seed
+    )
+
+
+class TestSimulator:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ConvergecastNetwork([], get_scenario("office"))
+
+    def test_delivery_in_light_traffic(self):
+        result = small_network().run()
+        assert result.readings_generated > 0
+        assert result.delivery_ratio > 0.8
+
+    def test_latency_reasonable(self):
+        result = small_network().run()
+        # One frame is ~2 ms on air; with light contention latency stays
+        # within a few tens of ms.
+        assert result.mean_latency_s < 0.05
+
+    def test_deterministic(self):
+        a = small_network(seed=9).run()
+        b = small_network(seed=9).run()
+        assert a.delivery_ratio == b.delivery_ratio
+        assert len(a.records) == len(b.records)
+
+    def test_no_committed_overlap_without_collision_flag(self):
+        result = small_network(n_nodes=5, interval=0.1).run()
+        clean = sorted(
+            (r for r in result.records if not r.collided),
+            key=lambda r: r.start_s,
+        )
+        for first, second in zip(clean, clean[1:]):
+            # Non-collided transmissions never overlap each other.
+            if second.start_s < first.end_s:
+                pytest.fail("undetected overlap between clean transmissions")
+
+    def test_contention_grows_with_load(self):
+        light = small_network(n_nodes=2, interval=0.5, seed=3).run()
+        heavy = small_network(n_nodes=8, interval=0.05, seed=3).run()
+        assert heavy.channel_utilization > light.channel_utilization
+        assert heavy.collision_rate >= light.collision_rate
+
+    def test_goodput_accounting(self):
+        result = small_network().run()
+        goodput = result.goodput_bps(16)
+        delivered = len({(r.node_id, r.sequence) for r in result.delivered})
+        assert goodput == pytest.approx(
+            delivered * 16 / result.sim_duration_s
+        )
+
+    def test_retries_extend_attempt_counter(self):
+        result = small_network(n_nodes=6, interval=0.08, seed=17).run()
+        assert any(r.attempt > 0 for r in result.records) or (
+            result.collision_rate == 0.0
+        )
+
+
+class TestResultObject:
+    def test_empty_result(self):
+        result = NetworkResult()
+        assert result.delivery_ratio == 0.0
+        assert result.collision_rate == 0.0
+        assert result.channel_utilization == 0.0
+        assert np.isnan(result.mean_latency_s)
+
+    def test_record_properties(self):
+        record = TransmissionRecord(
+            node_id=1, sequence=2, created_s=1.0, start_s=1.01,
+            duration_s=0.002, attempt=0,
+        )
+        assert record.end_s == pytest.approx(1.012)
+        assert record.latency_s == pytest.approx(0.012)
+
+
+class TestHiddenTerminals:
+    def _two_node_network(self, carrier_sense_range_m, seed=4):
+        nodes = [
+            NodeConfig(node_id=0, position=(15.0, 0.0), reading_interval_s=0.04),
+            NodeConfig(node_id=1, position=(-15.0, 0.0), reading_interval_s=0.04),
+        ]
+        return ConvergecastNetwork(
+            nodes,
+            get_scenario("outdoor"),
+            sim_duration_s=2.0,
+            seed=seed,
+            carrier_sense_range_m=carrier_sense_range_m,
+        )
+
+    def test_position_derives_distance(self):
+        node = NodeConfig(node_id=0, position=(3.0, 4.0))
+        assert node.distance_m == pytest.approx(5.0)
+
+    def test_pairwise_distance(self):
+        a = NodeConfig(node_id=0, position=(15.0, 0.0))
+        b = NodeConfig(node_id=1, position=(-15.0, 0.0))
+        assert a.distance_to(b) == pytest.approx(30.0)
+
+    def test_pairwise_distance_requires_positions(self):
+        a = NodeConfig(node_id=0, distance_m=5.0)
+        b = NodeConfig(node_id=1, position=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            a.distance_to(b)
+
+    def test_missing_placement_rejected(self):
+        with pytest.raises(ValueError):
+            NodeConfig(node_id=0)
+
+    def test_sensing_range_requires_positions(self):
+        nodes = [NodeConfig(node_id=0, distance_m=5.0)]
+        with pytest.raises(ValueError):
+            ConvergecastNetwork(
+                nodes, get_scenario("office"), carrier_sense_range_m=10.0
+            )
+
+    def test_hidden_terminals_collide_more(self):
+        audible = self._two_node_network(carrier_sense_range_m=50.0).run()
+        hidden = self._two_node_network(carrier_sense_range_m=20.0).run()
+        assert hidden.collision_rate > audible.collision_rate
+        assert hidden.delivery_ratio <= audible.delivery_ratio + 0.02
+
+    def test_collisions_revoke_both_frames(self):
+        result = self._two_node_network(carrier_sense_range_m=20.0).run()
+        for record in result.records:
+            if record.collided:
+                assert not record.delivered

@@ -1,0 +1,22 @@
+"""Unit tests for the WiFi channel map."""
+
+import pytest
+
+from repro.wifi.channels import WIFI_CHANNELS, wifi_channel_frequency
+
+
+class TestWifiChannels:
+    def test_channel_1(self):
+        assert wifi_channel_frequency(1) == 2.412e9
+
+    def test_channel_13(self):
+        assert wifi_channel_frequency(13) == 2.472e9
+
+    def test_five_mhz_spacing(self):
+        freqs = [WIFI_CHANNELS[k] for k in sorted(WIFI_CHANNELS)]
+        assert all(b - a == 5e6 for a, b in zip(freqs, freqs[1:]))
+
+    @pytest.mark.parametrize("bad", [0, 14, -3])
+    def test_invalid_channel(self, bad):
+        with pytest.raises(ValueError):
+            wifi_channel_frequency(bad)

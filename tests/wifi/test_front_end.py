@@ -1,0 +1,84 @@
+"""Unit tests for the WiFi RF front-end model."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal_ops import signal_power
+from repro.wifi.front_end import WifiFrontEnd, noise_floor_watts
+
+
+class TestNoiseFloor:
+    def test_20mhz_floor(self):
+        # -174 + 10log10(20e6) + 6 = -95 dBm.
+        floor = noise_floor_watts(20e6, noise_figure_db=6.0)
+        assert 10 * np.log10(floor) + 30 == pytest.approx(-95.0, abs=0.1)
+
+    def test_scales_with_bandwidth(self):
+        assert noise_floor_watts(40e6) == pytest.approx(2 * noise_floor_watts(20e6))
+
+
+class TestFrequencyOffset:
+    def test_zigbee13_on_wifi1(self):
+        fe = WifiFrontEnd(channel=1)
+        assert fe.frequency_offset(2.415e9) == pytest.approx(3e6)
+
+    def test_downconvert_moves_tone(self):
+        fe = WifiFrontEnd(channel=1)
+        n = np.arange(4096)
+        baseband = np.exp(1j * 2 * np.pi * 0.5e6 * n / fe.sample_rate)
+        shifted = fe.downconvert(baseband, 2.415e9)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak_hz = np.fft.fftfreq(n.size, 1 / fe.sample_rate)[np.argmax(spectrum)]
+        assert peak_hz == pytest.approx(3.5e6, abs=2e4)
+
+
+class TestCapture:
+    def test_places_contribution_at_offset(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        wf = np.ones(100, dtype=complex)
+        cap = fe.capture([(wf, 50, fe.center_frequency)], 300, rng=rng,
+                         include_noise=False)
+        assert np.all(np.abs(cap[:50]) == 0)
+        assert np.all(np.abs(cap[50:150]) > 0.9)
+        assert np.all(np.abs(cap[150:]) == 0)
+
+    def test_clips_out_of_range_contribution(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        wf = np.ones(100, dtype=complex)
+        cap = fe.capture([(wf, 250, fe.center_frequency)], 300, rng=rng,
+                         include_noise=False)
+        assert np.count_nonzero(cap) == 50
+
+    def test_negative_start_clips_head(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        wf = np.ones(100, dtype=complex)
+        cap = fe.capture([(wf, -30, fe.center_frequency)], 300, rng=rng,
+                         include_noise=False)
+        assert np.count_nonzero(cap) == 70
+        assert abs(cap[0]) > 0
+
+    def test_fully_outside_contribution_ignored(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        wf = np.ones(10, dtype=complex)
+        cap = fe.capture([(wf, 1000, fe.center_frequency)], 100, rng=rng,
+                         include_noise=False)
+        assert np.all(cap == 0)
+
+    def test_contributions_add(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        wf = np.ones(10, dtype=complex)
+        cap = fe.capture(
+            [(wf, 0, fe.center_frequency), (wf, 0, fe.center_frequency)],
+            10, rng=rng, include_noise=False,
+        )
+        assert np.allclose(cap, 2.0)
+
+    def test_noise_power_calibration(self, rng):
+        fe = WifiFrontEnd(channel=1)
+        cap = fe.capture([], 200_000, rng=rng)
+        assert signal_power(cap) == pytest.approx(fe.noise_power_watts, rel=0.03)
+
+    def test_noise_requires_rng(self):
+        fe = WifiFrontEnd(channel=1)
+        with pytest.raises(ValueError):
+            fe.capture([], 100, rng=None, include_noise=True)

@@ -1,0 +1,122 @@
+"""Unit tests for WiFi idle listening (phase stream + packet detection)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import WIFI_SAMPLE_RATE_20MHZ, WIFI_SAMPLE_RATE_40MHZ
+from repro.wifi.idle_listening import (
+    IdleListening,
+    autocorrelation_metric,
+    phase_differences,
+)
+from repro.wifi.ofdm import OfdmTransmitter
+
+
+class TestPhaseDifferences:
+    def test_tone_phase_matches_theory(self):
+        # exp(-j 2 pi f t) at f = 0.5 MHz: dp over 16 samples = +4pi/5.
+        fs, lag = 20e6, 16
+        n = np.arange(1000)
+        tone = np.exp(-1j * 2 * np.pi * 0.5e6 * n / fs)
+        dp = phase_differences(tone, lag)
+        assert np.allclose(dp, 0.8 * np.pi)
+
+    def test_positive_frequency_gives_negative_dp(self):
+        fs, lag = 20e6, 16
+        n = np.arange(1000)
+        tone = np.exp(1j * 2 * np.pi * 0.5e6 * n / fs)
+        dp = phase_differences(tone, lag)
+        assert np.allclose(dp, -0.8 * np.pi)
+
+    def test_length(self):
+        dp = phase_differences(np.ones(100, complex), 16)
+        assert dp.size == 84
+
+    def test_short_input(self):
+        assert phase_differences(np.ones(10, complex), 16).size == 0
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            phase_differences(np.ones(100, complex), 0)
+
+    def test_amplitude_invariance(self):
+        n = np.arange(200)
+        tone = np.exp(-1j * 0.1 * n)
+        assert np.allclose(
+            phase_differences(tone, 16), phase_differences(5.0 * tone, 16)
+        )
+
+
+class TestAutocorrelationMetric:
+    def test_periodic_signal_metric_near_one(self):
+        period = np.exp(1j * np.linspace(0, 2 * np.pi, 16, endpoint=False))
+        signal = np.tile(period, 12)
+        metric, phase = autocorrelation_metric(signal, 16)
+        mid = metric[16:-16]
+        assert np.all(mid > 0.99)
+        assert np.allclose(phase[16:-16], 0.0, atol=1e-9)
+
+    def test_noise_metric_low(self, rng):
+        noise = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        metric, _ = autocorrelation_metric(noise, 16)
+        assert np.mean(metric) < 0.3
+
+    def test_short_input(self):
+        metric, phase = autocorrelation_metric(np.ones(10, complex), 16)
+        assert metric.size == 0 and phase.size == 0
+
+
+class TestIdleListening:
+    def test_lag_20msps(self):
+        assert IdleListening(WIFI_SAMPLE_RATE_20MHZ).lag == 16
+
+    def test_lag_40msps(self):
+        assert IdleListening(WIFI_SAMPLE_RATE_40MHZ).lag == 32
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            IdleListening(sample_rate=19.9e6)
+
+    def test_detects_wifi_packet(self, rng):
+        il = IdleListening()
+        ofdm = OfdmTransmitter()
+        pkt = ofdm.packet(rng.integers(0, 2, 96, dtype=np.int8))
+        capture = np.concatenate(
+            [np.zeros(500, complex), pkt, np.zeros(500, complex)]
+        )
+        capture += 1e-4 * (
+            rng.standard_normal(capture.size) + 1j * rng.standard_normal(capture.size)
+        )
+        detections = il.detect_wifi_packets(capture)
+        assert len(detections) == 1
+        assert abs(detections[0].start_index - 500) < 20
+
+    def test_zigbee_not_detected_as_wifi(self, rng):
+        from repro.zigbee.transmitter import ZigBeeTransmitter
+
+        il = IdleListening()
+        _, wf = ZigBeeTransmitter().transmit(b"not wifi" * 8)
+        capture = np.concatenate([wf, np.zeros(200, complex)])
+        assert il.detect_wifi_packets(capture) == []
+
+    def test_noise_not_detected(self, rng):
+        il = IdleListening()
+        noise = rng.standard_normal(20000) + 1j * rng.standard_normal(20000)
+        assert il.detect_wifi_packets(noise) == []
+
+    def test_phase_stream_matches_function(self, rng):
+        il = IdleListening()
+        x = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        assert np.allclose(il.phase_stream(x), phase_differences(x, 16))
+
+    def test_two_packets_detected(self, rng):
+        il = IdleListening()
+        ofdm = OfdmTransmitter()
+        pkt = ofdm.packet(rng.integers(0, 2, 96, dtype=np.int8))
+        gap = np.zeros(2000, complex)
+        capture = np.concatenate([gap, pkt, gap, pkt, gap])
+        capture += 1e-4 * (
+            rng.standard_normal(capture.size) + 1j * rng.standard_normal(capture.size)
+        )
+        detections = il.detect_wifi_packets(capture)
+        assert len(detections) == 2

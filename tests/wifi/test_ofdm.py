@@ -1,0 +1,167 @@
+"""Unit tests for the 802.11g OFDM transmitter."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal_ops import signal_power
+from repro.wifi.ofdm import (
+    CYCLIC_PREFIX,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    OfdmTransmitter,
+    l_ltf,
+    l_stf,
+)
+
+
+class TestTrainingFields:
+    def test_stf_length(self):
+        assert l_stf().size == 160
+
+    def test_stf_periodicity_16(self):
+        stf = l_stf()
+        assert np.allclose(stf[:144], stf[16:160])
+
+    def test_ltf_length(self):
+        assert l_ltf().size == 160
+
+    def test_ltf_cyclic_prefix(self):
+        ltf = l_ltf()
+        # CP (first 32 samples) is the tail of the 64-sample LTF symbol,
+        # i.e. it reappears at samples 64:96 of the field.
+        assert np.allclose(ltf[:32], ltf[64:96])
+
+    def test_ltf_repetition(self):
+        ltf = l_ltf()
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+
+class TestDataSymbols:
+    def test_subcarrier_plan(self):
+        assert len(DATA_SUBCARRIERS) == 48
+        assert 0 not in DATA_SUBCARRIERS
+        for pilot in (-21, -7, 7, 21):
+            assert pilot not in DATA_SUBCARRIERS
+
+    def test_symbol_length(self):
+        tx = OfdmTransmitter()
+        symbol = tx.data_symbol(np.zeros(96, dtype=np.int8))
+        assert symbol.size == FFT_SIZE + CYCLIC_PREFIX
+
+    def test_cyclic_prefix_correct(self):
+        tx = OfdmTransmitter()
+        symbol = tx.data_symbol(np.ones(96, dtype=np.int8))
+        assert np.allclose(symbol[:CYCLIC_PREFIX], symbol[FFT_SIZE:])
+
+    def test_wrong_bit_count_rejected(self):
+        tx = OfdmTransmitter()
+        with pytest.raises(ValueError):
+            tx.data_symbol(np.zeros(95, dtype=np.int8))
+
+
+class TestPacket:
+    def test_packet_structure(self, rng):
+        tx = OfdmTransmitter()
+        pkt = tx.packet(rng.integers(0, 2, 192, dtype=np.int8))
+        # STF + LTF + SIGNAL + 2 data symbols.
+        assert pkt.size == 160 + 160 + 3 * (FFT_SIZE + CYCLIC_PREFIX)
+
+    def test_payload_padded_to_symbol(self, rng):
+        tx = OfdmTransmitter()
+        pkt = tx.packet(np.zeros(10, dtype=np.int8), rng=rng)
+        assert pkt.size == 320 + 2 * (FFT_SIZE + CYCLIC_PREFIX)
+
+    def test_power_calibration(self, rng):
+        tx = OfdmTransmitter(tx_power_watts=2e-3)
+        pkt = tx.packet(rng.integers(0, 2, 960, dtype=np.int8))
+        assert signal_power(pkt) == pytest.approx(2e-3)
+
+    def test_spectrum_occupies_20mhz_channel(self, rng):
+        tx = OfdmTransmitter()
+        pkt = tx.packet(rng.integers(0, 2, 96 * 20, dtype=np.int8))
+        spectrum = np.abs(np.fft.fft(pkt)) ** 2
+        freqs = np.fft.fftfreq(pkt.size, 1 / 20e6)
+        in_band = spectrum[np.abs(freqs) < 8.5e6].sum()
+        out_band = spectrum[np.abs(freqs) > 9e6].sum()
+        assert in_band > 50 * out_band
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            OfdmTransmitter(sample_rate=40e6)
+
+
+class TestBurst:
+    def test_burst_duration(self, rng):
+        tx = OfdmTransmitter()
+        burst = tx.burst(270e-6, rng)
+        assert burst.size == pytest.approx(270e-6 * 20e6, abs=1)
+
+    def test_tiny_burst_keeps_preamble(self, rng):
+        tx = OfdmTransmitter()
+        burst = tx.burst(1e-6, rng)
+        assert burst.size >= 400  # STF + LTF + SIGNAL
+
+    def test_burst_randomness(self, rng):
+        tx = OfdmTransmitter()
+        a = tx.burst(200e-6, rng)
+        b = tx.burst(200e-6, rng)
+        assert not np.allclose(a, b)
+
+
+class TestSignalField:
+    def test_build_parse_roundtrip(self):
+        from repro.wifi.ofdm import build_signal_bits, parse_signal_bits
+
+        for length in (0, 1, 37, 4095):
+            assert parse_signal_bits(build_signal_bits(length)) == length
+
+    def test_parity_violation_rejected(self):
+        from repro.wifi.ofdm import build_signal_bits, parse_signal_bits
+
+        bits = build_signal_bits(10).copy()
+        bits[6] ^= 1
+        assert parse_signal_bits(bits) is None
+
+    def test_tail_violation_rejected(self):
+        from repro.wifi.ofdm import build_signal_bits, parse_signal_bits
+
+        bits = build_signal_bits(10).copy()
+        bits[20] ^= 1
+        assert parse_signal_bits(bits) is None
+
+    def test_length_field_limit(self):
+        from repro.wifi.ofdm import build_signal_bits
+
+        with pytest.raises(ValueError):
+            build_signal_bits(1 << 12)
+
+    def test_interleaver_roundtrip(self, rng):
+        from repro.wifi.ofdm import signal_deinterleave, signal_interleave
+
+        bits = rng.integers(0, 2, 48, dtype=np.int8)
+        assert np.array_equal(
+            signal_deinterleave(signal_interleave(bits)), bits
+        )
+
+    def test_interleaver_scatters_bursts(self):
+        from repro.wifi.ofdm import signal_interleave
+
+        burst = np.zeros(48, dtype=np.int8)
+        burst[10:14] = 1
+        scattered = np.flatnonzero(signal_interleave(burst))
+        assert np.min(np.diff(np.sort(scattered))) >= 3
+
+    def test_self_describing_receive(self, rng):
+        from repro.dsp.noise import awgn
+        from repro.wifi.receiver import OfdmReceiver
+
+        tx, rx = OfdmTransmitter(), OfdmReceiver()
+        bits = rng.integers(0, 2, 96 * 4, dtype=np.int8)
+        capture = np.concatenate(
+            [np.zeros(600, complex), tx.packet(bits), np.zeros(300, complex)]
+        )
+        capture = awgn(capture, 22.0, rng, reference_power=tx.tx_power_watts)
+        reception = rx.receive(capture)       # no n_symbols given
+        assert reception is not None
+        assert reception.bits.size == bits.size
+        assert np.mean(reception.bits != bits) < 0.01

@@ -1,0 +1,134 @@
+"""Unit tests for the 802.11g OFDM receiver."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.noise import awgn
+from repro.dsp.signal_ops import mix, scale_to_power, signal_power
+from repro.wifi.front_end import WifiFrontEnd
+from repro.wifi.ofdm import OfdmTransmitter
+from repro.wifi.receiver import OfdmReceiver
+
+
+@pytest.fixture(scope="module")
+def radio():
+    return OfdmTransmitter(), OfdmReceiver()
+
+
+def _capture(pkt, lead=700, tail=500):
+    return np.concatenate(
+        [np.zeros(lead, complex), pkt, np.zeros(tail, complex)]
+    )
+
+
+class TestRoundtrip:
+    def test_clean(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96 * 3, dtype=np.int8)
+        cap = awgn(_capture(tx.packet(bits)), 30.0, rng,
+                   reference_power=tx.tx_power_watts)
+        reception = rx.receive(cap, n_symbols=3)
+        assert reception is not None
+        assert np.array_equal(reception.bits, bits)
+        assert reception.evm < 0.2
+
+    def test_moderate_noise(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96 * 2, dtype=np.int8)
+        cap = awgn(_capture(tx.packet(bits)), 15.0, rng,
+                   reference_power=tx.tx_power_watts)
+        reception = rx.receive(cap, n_symbols=2)
+        assert reception is not None
+        assert np.mean(reception.bits != bits) < 0.02
+
+    def test_cfo_corrected(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96 * 2, dtype=np.int8)
+        pkt = mix(tx.packet(bits), 25e3, 20e6)
+        cap = awgn(_capture(pkt), 28.0, rng,
+                   reference_power=tx.tx_power_watts)
+        reception = rx.receive(cap, n_symbols=2)
+        assert reception is not None
+        assert reception.cfo_hz == pytest.approx(25e3, abs=2e3)
+        assert np.array_equal(reception.bits, bits)
+
+    def test_flat_channel_gain_and_phase(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96, dtype=np.int8)
+        pkt = tx.packet(bits) * (0.5 * np.exp(1j * 1.2))
+        cap = awgn(_capture(pkt), 28.0, rng,
+                   reference_power=signal_power(pkt))
+        reception = rx.receive(cap, n_symbols=1)
+        assert reception is not None
+        assert np.array_equal(reception.bits, bits)
+
+    def test_multipath_equalized(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96 * 2, dtype=np.int8)
+        taps = np.array([1.0, 0.0, 0.3 * np.exp(1j * 0.9), 0.1j])
+        pkt = np.convolve(tx.packet(bits), taps)[: tx.packet(bits).size]
+        cap = awgn(_capture(pkt), 28.0, rng,
+                   reference_power=signal_power(pkt))
+        reception = rx.receive(cap, n_symbols=2)
+        assert reception is not None
+        assert np.mean(reception.bits != bits) < 0.02
+
+    def test_no_packet_returns_none(self, radio, rng):
+        _, rx = radio
+        noise = 1e-4 * (rng.standard_normal(20_000) + 1j * rng.standard_normal(20_000))
+        assert rx.receive(noise, n_symbols=2) is None
+
+    def test_start_index_near_truth(self, radio, rng):
+        tx, rx = radio
+        bits = rng.integers(0, 2, 96, dtype=np.int8)
+        cap = awgn(_capture(tx.packet(bits), lead=1234), 30.0, rng,
+                   reference_power=tx.tx_power_watts)
+        reception = rx.receive(cap, n_symbols=1)
+        assert reception is not None
+        assert abs(reception.start_index - 1234) < 30
+
+
+class TestCrossTechnologyInterference:
+    """The reverse CTI direction: ZigBee degrading a WiFi link."""
+
+    def _wifi_under_zigbee(self, sir_db, rng):
+        from repro.zigbee.transmitter import ZigBeeTransmitter
+
+        tx, rx = OfdmTransmitter(), OfdmReceiver()
+        fe = WifiFrontEnd(channel=1)
+        zigbee = ZigBeeTransmitter(channel=13)
+        bits = rng.integers(0, 2, 96 * 2, dtype=np.int8)
+        pkt = tx.packet(bits)
+        _, zigbee_wf = zigbee.transmit(b"cross-technology interference!")
+        interferer = fe.downconvert(
+            scale_to_power(zigbee_wf, tx.tx_power_watts / 10 ** (sir_db / 10)),
+            zigbee.center_frequency,
+        )
+        cap = _capture(pkt, lead=700, tail=6000)
+        span = min(interferer.size, cap.size - 500)
+        cap[500 : 500 + span] += interferer[:span]
+        cap = awgn(cap, 30.0, rng, reference_power=tx.tx_power_watts)
+        reception = rx.receive(cap, n_symbols=2)
+        return reception, bits
+
+    def test_weak_zigbee_harmless(self, rng):
+        reception, bits = self._wifi_under_zigbee(20.0, rng)
+        assert reception is not None
+        assert np.mean(reception.bits != bits) < 0.05
+
+    def test_strong_zigbee_breaks_wifi_detection(self, rng):
+        # The CTI story: a strong in-band ZigBee signal corrupts the
+        # Schmidl-Cox plateau and WiFi packet detection fails — which is
+        # why coordination (the paper's motivation) matters.
+        reception, _ = self._wifi_under_zigbee(0.0, rng)
+        assert reception is None
+
+    def test_degradation_monotone_in_sir(self, rng):
+        outcomes = []
+        for sir in (20.0, 10.0, 0.0):
+            reception, bits = self._wifi_under_zigbee(sir, rng)
+            if reception is None:
+                outcomes.append(1.0)
+            else:
+                outcomes.append(float(np.mean(reception.bits != bits)))
+        assert outcomes[0] <= outcomes[-1]

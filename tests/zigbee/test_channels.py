@@ -1,0 +1,50 @@
+"""Unit tests for the ZigBee/WiFi channel maps and their overlap."""
+
+import pytest
+
+from repro.zigbee.channels import (
+    ZIGBEE_CHANNELS,
+    frequency_offset_hz,
+    overlapping_wifi_channels,
+    zigbee_channel_frequency,
+)
+
+
+class TestChannelMap:
+    def test_channel_11_is_2405(self):
+        assert zigbee_channel_frequency(11) == 2.405e9
+
+    def test_channel_26_is_2480(self):
+        assert zigbee_channel_frequency(26) == 2.480e9
+
+    def test_five_mhz_spacing(self):
+        freqs = [ZIGBEE_CHANNELS[k] for k in sorted(ZIGBEE_CHANNELS)]
+        assert all(b - a == 5e6 for a, b in zip(freqs, freqs[1:]))
+
+    @pytest.mark.parametrize("bad", [10, 27, 0])
+    def test_invalid_channel(self, bad):
+        with pytest.raises(ValueError):
+            zigbee_channel_frequency(bad)
+
+
+class TestOverlap:
+    def test_channel_13_overlaps_wifi_1(self):
+        assert 1 in overlapping_wifi_channels(13)
+
+    def test_each_wifi_channel_covers_four_zigbee(self):
+        covered = [
+            z for z in ZIGBEE_CHANNELS if 1 in overlapping_wifi_channels(z)
+        ]
+        assert len(covered) == 4
+
+    def test_offsets_follow_appendix_b(self):
+        # The distance from a WiFi channel to any overlapping ZigBee
+        # channel is (3 + 5m) MHz, m in {-2, -1, 0, 1} (paper Appendix B).
+        allowed = {(3 + 5 * m) * 1e6 for m in (-2, -1, 0, 1)}
+        for z_ch in ZIGBEE_CHANNELS:
+            for w_ch in overlapping_wifi_channels(z_ch):
+                assert frequency_offset_hz(z_ch, w_ch) in allowed
+
+    def test_paper_example_zigbee12_wifi1(self):
+        # "e.g., ZigBee Ch.12 (2.410 GHz) and WiFi Ch.1 (2.412 GHz)" = -2 MHz.
+        assert frequency_offset_hz(12, 1) == -2e6

@@ -1,0 +1,88 @@
+"""Unit tests for unslotted CSMA-CA."""
+
+import numpy as np
+import pytest
+
+from repro.zigbee.csma import CCA_DURATION_S, UNIT_BACKOFF_S, CsmaCa
+
+
+def always_idle(_start, _duration):
+    return False
+
+
+def always_busy(_start, _duration):
+    return True
+
+
+class TestParameters:
+    def test_unit_backoff_is_320us(self):
+        assert UNIT_BACKOFF_S == pytest.approx(320e-6)
+
+    def test_cca_is_128us(self):
+        assert CCA_DURATION_S == pytest.approx(128e-6)
+
+    def test_invalid_be_ordering(self):
+        with pytest.raises(ValueError):
+            CsmaCa(min_be=5, max_be=3)
+
+    def test_negative_backoffs(self):
+        with pytest.raises(ValueError):
+            CsmaCa(max_backoffs=-1)
+
+
+class TestAttempt:
+    def test_idle_channel_succeeds(self, rng):
+        outcome = CsmaCa().attempt(0.0, always_idle, rng)
+        assert outcome.success
+        assert outcome.backoffs_used == 0
+        assert outcome.tx_time_s >= CCA_DURATION_S
+
+    def test_busy_channel_gives_up(self, rng):
+        csma = CsmaCa(max_backoffs=4)
+        outcome = csma.attempt(0.0, always_busy, rng)
+        assert not outcome.success
+        assert outcome.backoffs_used == 5
+
+    def test_backoff_within_bounds(self, rng):
+        csma = CsmaCa(min_be=3, max_be=3, max_backoffs=0)
+        for _ in range(50):
+            outcome = csma.attempt(0.0, always_idle, rng)
+            slots = (outcome.tx_time_s - CCA_DURATION_S) / UNIT_BACKOFF_S
+            assert 0 <= round(slots) <= 7
+            assert abs(slots - round(slots)) < 1e-9
+
+    def test_waits_out_a_transient_busy_period(self, rng):
+        # Channel busy until t = 5 ms, idle after.
+        def busy_until_5ms(start, duration):
+            return start < 5e-3
+
+        csma = CsmaCa()
+        successes = 0
+        for _ in range(40):
+            outcome = csma.attempt(0.0, busy_until_5ms, rng)
+            if outcome.success:
+                successes += 1
+                assert outcome.tx_time_s >= 5e-3
+        # Exponential backoff frequently stretches past the busy period.
+        assert successes > 10
+
+    def test_time_spent_accounting(self, rng):
+        outcome = CsmaCa().attempt(2.0, always_idle, rng)
+        assert outcome.time_spent_s == pytest.approx(outcome.tx_time_s - 2.0)
+
+    def test_deterministic_given_seed(self):
+        a = CsmaCa().attempt(0.0, always_idle, np.random.default_rng(3))
+        b = CsmaCa().attempt(0.0, always_idle, np.random.default_rng(3))
+        assert a == b
+
+    def test_exponential_backoff_grows(self):
+        # With a busy channel the expected per-round wait grows with BE;
+        # verify the mean drawn slots increase round over round.
+        rng = np.random.default_rng(10)
+        csma = CsmaCa(min_be=2, max_be=5, max_backoffs=3)
+        outcome = csma.attempt(0.0, always_busy, rng)
+        total_slots = (
+            outcome.time_spent_s - 4 * CCA_DURATION_S
+        ) / UNIT_BACKOFF_S
+        # 4 rounds with BE = 2,3,4,5: max 3+7+15+31 = 56 slots.
+        assert 0 <= total_slots <= 56 + 1e-9

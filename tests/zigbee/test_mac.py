@@ -1,0 +1,72 @@
+"""Unit tests for the minimal 802.15.4 MAC codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zigbee.mac import (
+    BROADCAST_ADDRESS,
+    FCF_DATA_SHORT,
+    MAC_OVERHEAD_BYTES,
+    MAX_MAC_PAYLOAD,
+    MacFrame,
+)
+
+
+class TestMacFrame:
+    def test_defaults(self):
+        frame = MacFrame(payload=b"data")
+        assert frame.frame_control == FCF_DATA_SHORT
+        assert frame.destination == BROADCAST_ADDRESS
+
+    def test_psdu_length(self):
+        frame = MacFrame(payload=b"12345")
+        assert len(frame.to_psdu()) == MAC_OVERHEAD_BYTES + 5
+
+    def test_max_payload(self):
+        MacFrame(payload=bytes(MAX_MAC_PAYLOAD))  # fine
+        with pytest.raises(ValueError):
+            MacFrame(payload=bytes(MAX_MAC_PAYLOAD + 1))
+
+    def test_sequence_range(self):
+        with pytest.raises(ValueError):
+            MacFrame(payload=b"", sequence=256)
+
+    def test_address_range(self):
+        with pytest.raises(ValueError):
+            MacFrame(payload=b"", destination=0x1_0000)
+
+    @given(
+        st.binary(max_size=MAX_MAC_PAYLOAD),
+        st.integers(0, 255),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+    )
+    def test_roundtrip(self, payload, seq, pan, dest, src):
+        frame = MacFrame(
+            payload=payload, sequence=seq, pan_id=pan, destination=dest, source=src
+        )
+        parsed = MacFrame.from_psdu(frame.to_psdu())
+        assert parsed == frame
+
+    def test_corrupt_psdu_rejected(self):
+        psdu = bytearray(MacFrame(payload=b"abc").to_psdu())
+        psdu[3] ^= 0xFF
+        with pytest.raises(ValueError, match="FCS"):
+            MacFrame.from_psdu(bytes(psdu))
+
+    def test_short_psdu_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            MacFrame.from_psdu(b"\x00" * 5)
+
+    def test_header_layout_little_endian(self):
+        frame = MacFrame(
+            payload=b"", sequence=0x42, pan_id=0x1234, destination=0xAABB,
+            source=0xCCDD,
+        )
+        psdu = frame.to_psdu()
+        assert psdu[0:2] == FCF_DATA_SHORT.to_bytes(2, "little")
+        assert psdu[2] == 0x42
+        assert psdu[3:5] == b"\x34\x12"
+        assert psdu[5:7] == b"\xbb\xaa"
+        assert psdu[7:9] == b"\xdd\xcc"

@@ -1,0 +1,139 @@
+"""Unit tests for the O-QPSK half-sine modulator/demodulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import (
+    SYMBEE_STABLE_PHASE,
+    WIFI_SAMPLE_RATE_20MHZ,
+    WIFI_SAMPLE_RATE_40MHZ,
+)
+from repro.zigbee.oqpsk import OqpskDemodulator, OqpskModulator
+
+
+@pytest.fixture(scope="module")
+def mod20():
+    return OqpskModulator(WIFI_SAMPLE_RATE_20MHZ)
+
+
+class TestModulatorConstruction:
+    def test_samples_per_pulse_20msps(self, mod20):
+        assert mod20.samples_per_pulse == 20
+        assert mod20.quadrature_offset == 10
+
+    def test_samples_per_pulse_40msps(self):
+        mod = OqpskModulator(WIFI_SAMPLE_RATE_40MHZ)
+        assert mod.samples_per_pulse == 40
+
+    def test_non_integer_rate_rejected(self):
+        with pytest.raises(ValueError):
+            OqpskModulator(3.7e6)
+
+    def test_pulse_is_half_sine(self, mod20):
+        assert mod20.pulse[0] == pytest.approx(0.0)
+        assert mod20.pulse.max() == pytest.approx(1.0, abs=0.02)
+        assert np.all(mod20.pulse >= 0)
+
+
+class TestModulateChips:
+    def test_length(self, mod20):
+        wf = mod20.modulate_chips([0, 1] * 16)
+        assert wf.size == mod20.waveform_length(32)
+
+    def test_empty(self, mod20):
+        assert mod20.modulate_chips([]).size == 0
+
+    def test_odd_chip_count_rejected(self, mod20):
+        with pytest.raises(ValueError):
+            mod20.modulate_chips([0, 1, 0])
+
+    def test_chip0_gives_positive_pulse(self, mod20):
+        wf = mod20.modulate_chips([0, 0])
+        assert wf.real[: mod20.samples_per_pulse].max() > 0.9
+
+    def test_chip1_gives_negative_pulse(self, mod20):
+        wf = mod20.modulate_chips([1, 1])
+        assert wf.real[: mod20.samples_per_pulse].min() < -0.9
+
+    def test_even_chips_drive_in_phase(self, mod20):
+        wf = mod20.modulate_chips([0, 1])
+        # In-phase pulse starts at sample 0; quadrature is delayed.
+        assert abs(wf.real[5]) > 0.5
+        assert wf.imag[5] == pytest.approx(0.0)
+
+    def test_quadrature_offset_half_pulse(self, mod20):
+        wf = mod20.modulate_chips([0, 0])
+        off = mod20.quadrature_offset
+        assert np.allclose(wf.imag[:off], 0.0)
+        assert abs(wf.imag[off + 5]) > 0.5
+
+    def test_unit_envelope_in_continuous_region(self, mod20):
+        # Alternating-sign pulse trains make I and Q quadrature
+        # sinusoids, so |x| = 1 once both branches are active.
+        wf = mod20.modulate_chips([0, 0, 1, 1] * 8)
+        interior = wf[mod20.samples_per_pulse : -mod20.samples_per_pulse]
+        assert np.allclose(np.abs(interior), 1.0, atol=1e-9)
+
+
+class TestStablePhasePhysics:
+    """The paper's Section IV-B derivation, verified sample-exactly."""
+
+    def test_pair_67_plateau(self, mod20):
+        wf = mod20.modulate_symbols([0x6, 0x7])
+        dp = np.angle(wf[:-16] * np.conj(wf[16:]))
+        plateau = np.abs(dp - SYMBEE_STABLE_PHASE) < 1e-9
+        best = max(
+            np.diff(np.flatnonzero(np.diff(np.concatenate(([0], plateau, [0])))))[::2],
+            default=0,
+        )
+        assert best >= 84
+
+    def test_pair_ef_plateau_is_conjugate(self, mod20):
+        wf67 = mod20.modulate_symbols([0x6, 0x7])
+        wfef = mod20.modulate_symbols([0xE, 0xF])
+        assert np.allclose(wfef, np.conj(wf67))
+
+    def test_plateau_doubles_at_40msps(self):
+        mod = OqpskModulator(WIFI_SAMPLE_RATE_40MHZ)
+        wf = mod.modulate_symbols([0x6, 0x7])
+        dp = np.angle(wf[:-32] * np.conj(wf[32:]))
+        count = int(np.sum(np.abs(dp - SYMBEE_STABLE_PHASE) < 1e-9))
+        assert count >= 168
+
+
+class TestDemodulator:
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_clean_roundtrip(self, symbols):
+        mod = OqpskModulator(WIFI_SAMPLE_RATE_20MHZ)
+        demod = OqpskDemodulator(WIFI_SAMPLE_RATE_20MHZ)
+        wf = mod.modulate_symbols(symbols)
+        decoded, _ = demod.demodulate_symbols(wf, len(symbols))
+        assert decoded == symbols
+
+    def test_roundtrip_with_carrier_phase(self, mod20):
+        demod = OqpskDemodulator(WIFI_SAMPLE_RATE_20MHZ)
+        symbols = [1, 14, 7, 0]
+        wf = mod20.modulate_symbols(symbols) * np.exp(1j * 0.7)
+        decoded, _ = demod.demodulate_symbols(wf, 4, carrier_phase=0.7)
+        assert decoded == symbols
+
+    def test_roundtrip_under_noise(self, mod20, rng):
+        from repro.dsp.noise import awgn
+
+        demod = OqpskDemodulator(WIFI_SAMPLE_RATE_20MHZ)
+        symbols = [9, 2, 13, 6, 0, 15]
+        wf = awgn(mod20.modulate_symbols(symbols), 3.0, rng)
+        decoded, _ = demod.demodulate_symbols(wf, 6)
+        assert decoded == symbols
+
+    def test_short_waveform_rejected(self):
+        demod = OqpskDemodulator(WIFI_SAMPLE_RATE_20MHZ)
+        with pytest.raises(ValueError):
+            demod.soft_chips(np.zeros(10, dtype=complex), 32)
+
+    def test_odd_chip_count_rejected(self):
+        demod = OqpskDemodulator(WIFI_SAMPLE_RATE_20MHZ)
+        with pytest.raises(ValueError):
+            demod.soft_chips(np.zeros(1000, dtype=complex), 31)

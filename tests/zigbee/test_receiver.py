@@ -1,0 +1,87 @@
+"""Unit tests for the coherent ZigBee receiver."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.noise import awgn
+from repro.zigbee.receiver import ZigBeeReceiver
+from repro.zigbee.transmitter import ZigBeeTransmitter
+
+
+@pytest.fixture(scope="module")
+def radio():
+    return ZigBeeTransmitter(), ZigBeeReceiver()
+
+
+def _padded(wf, lead=300, tail=300):
+    return np.concatenate(
+        [np.zeros(lead, complex), wf, np.zeros(tail, complex)]
+    )
+
+
+class TestSynchronize:
+    def test_finds_packet_offset(self, radio):
+        tx, rx = radio
+        _, wf = tx.transmit(b"sync test")
+        sync = rx.synchronize(_padded(wf, lead=777))
+        assert sync is not None
+        start, _ = sync
+        assert abs(start - 777) <= 1
+
+    def test_no_packet_in_noise(self, radio, rng):
+        _, rx = radio
+        noise = 0.01 * (rng.standard_normal(5000) + 1j * rng.standard_normal(5000))
+        assert rx.synchronize(noise) is None
+
+    def test_too_short_input(self, radio):
+        _, rx = radio
+        assert rx.synchronize(np.zeros(10, complex)) is None
+
+    def test_recovers_carrier_phase(self, radio):
+        tx, rx = radio
+        _, wf = tx.transmit(b"phase")
+        rotated = _padded(wf) * np.exp(1j * 1.1)
+        sync = rx.synchronize(rotated)
+        assert sync is not None
+        assert sync[1] == pytest.approx(1.1, abs=0.05)
+
+
+class TestReceive:
+    def test_clean_roundtrip(self, radio):
+        tx, rx = radio
+        frame, wf = tx.transmit(b"hello zigbee world")
+        reception = rx.receive(_padded(wf))
+        assert reception is not None
+        assert reception.fcs_ok
+        assert reception.frame.payload == b"hello zigbee world"
+        assert reception.frame.sequence == frame.sequence
+
+    def test_roundtrip_with_rotation_and_noise(self, radio, rng):
+        tx, rx = radio
+        _, wf = tx.transmit(b"noisy")
+        capture = awgn(_padded(wf) * np.exp(1j * 0.4), 32.0, rng,
+                       reference_power=np.mean(np.abs(wf) ** 2))
+        reception = rx.receive(capture)
+        assert reception is not None and reception.fcs_ok
+        assert reception.frame.payload == b"noisy"
+
+    def test_truncated_capture_returns_none(self, radio):
+        tx, rx = radio
+        _, wf = tx.transmit(b"truncated payload here")
+        reception = rx.receive(_padded(wf)[: wf.size // 2])
+        assert reception is None or not reception.fcs_ok
+
+    def test_corrupted_payload_fails_fcs(self, radio, rng):
+        tx, rx = radio
+        _, wf = tx.transmit(b"corrupt me")
+        capture = _padded(wf)
+        # Smash a mid-payload region hard enough to break symbols.
+        capture[8000:8600] = 0
+        reception = rx.receive(capture)
+        if reception is not None:
+            assert not reception.fcs_ok or reception.frame.payload != b"corrupt me"
+
+    def test_no_reception_in_pure_noise(self, radio, rng):
+        _, rx = radio
+        noise = 0.01 * (rng.standard_normal(20000) + 1j * rng.standard_normal(20000))
+        assert rx.receive(noise) is None
