@@ -93,6 +93,56 @@ class SymBeeDecoder:
             return dp
         return compensate_cfo(dp, self.cfo_correction)
 
+    def phasor_stream(self, samples):
+        """CFO-compensated autocorrelation products (the phasor-domain dp).
+
+        ``out[n] = x[n] * conj(x[n + lag]) * exp(j * cfo_correction)``, so
+        ``angle(out)`` equals :meth:`phases` (up to the wrap convention at
+        exactly +-pi) without ever leaving the complex domain.  The fast
+        decode path runs entirely on this stream: a sample's phase is
+        nonnegative iff ``out[n].imag >= 0`` (``angle`` is 0 or pi on the
+        real axis, both nonnegative), and unit phasors for preamble
+        folding are ``out / |out|`` instead of ``exp(j*angle(out))``,
+        skipping two transcendental passes per capture.
+        """
+        samples = np.asarray(samples)
+        if self.lag <= 0 or samples.size <= self.lag:
+            return np.empty(0, dtype=np.complex128)
+        # conjugate() allocates the output; finish in place on it.
+        prod = np.conjugate(samples[self.lag :]).astype(np.complex128, copy=False)
+        prod *= samples[: -self.lag]
+        c = self.cfo_correction
+        if c is not None and c != 0.0:
+            prod *= complex(np.cos(c), np.sin(c))
+        return prod
+
+    def unit_phasors(self, phasor_stream):
+        """Normalize a phasor stream to unit magnitude.
+
+        Zero-amplitude samples (exact silence) take the phasor of phase
+        zero **after** CFO compensation — ``exp(j*cfo_correction)`` —
+        matching what ``exp(j*phases)`` yields there, so the phasor and
+        angle folding paths agree everywhere.
+        """
+        magnitude = np.abs(phasor_stream)
+        zero = magnitude == 0.0
+        has_zero = bool(zero.any())
+        if has_zero:
+            magnitude = np.where(zero, 1.0, magnitude)
+        # Multiply by the reciprocal: one divide pass over the real
+        # magnitudes instead of two per complex element.
+        np.reciprocal(magnitude, out=magnitude)
+        unit = phasor_stream * magnitude
+        if has_zero:
+            c = self.cfo_correction
+            fill = (
+                complex(np.cos(c), np.sin(c))
+                if c is not None and c != 0.0
+                else 1.0 + 0.0j
+            )
+            unit[zero] = fill
+        return unit
+
     # -- unsynchronized detection (Section IV-C) -----------------------------
 
     def detect_bits(self, phases, tau=None):
@@ -140,18 +190,39 @@ class SymBeeDecoder:
         subsequent bits are ``bit_period`` apart.  Bits whose window runs
         past the end of the stream are dropped.
         """
-        phases = np.asarray(phases)
-        nonneg = phases >= 0
-        bits, counts, positions = [], [], []
-        for k in range(n_bits):
-            start = first_bit_index + k * self.bit_period
-            end = start + self.window
-            if start < 0 or end > phases.size:
-                break
-            count = int(nonneg[start:end].sum())
-            bits.append(1 if count >= self.tau_sync else 0)
-            counts.append(count)
-            positions.append(start)
+        return self.decode_synchronized_mask(
+            np.asarray(phases) >= 0, first_bit_index, n_bits
+        )
+
+    def decode_synchronized_mask(self, nonneg, first_bit_index, n_bits):
+        """:meth:`decode_synchronized` on a precomputed nonnegative mask.
+
+        The fast phasor path feeds ``phasor_stream(...).imag >= 0`` here
+        directly, never materializing the angle stream.  All windows are
+        counted in one cumulative-sum pass.
+        """
+        nonneg = np.asarray(nonneg, dtype=bool)
+        # Window starts are monotonic, so the in-bounds windows form a
+        # prefix (matching the original early-exit loop).
+        n_fit = 0
+        if first_bit_index >= 0 and nonneg.size >= first_bit_index + self.window:
+            n_fit = 1 + (nonneg.size - self.window - first_bit_index) // self.bit_period
+        n_fit = min(int(n_bits), n_fit)
+        if n_fit <= 0:
+            return SyncDecodeResult(bits=(), counts=(), positions=())
+        starts = first_bit_index + self.bit_period * np.arange(n_fit)
+        if n_fit * self.window <= nonneg.size:
+            # Gather just the bit windows — far cheaper than a
+            # cumulative sum over the whole stream.
+            counts = nonneg[starts[:, None] + np.arange(self.window)].sum(axis=1)
+        else:
+            csum = np.empty(nonneg.size + 1, dtype=np.int64)
+            csum[0] = 0
+            np.cumsum(nonneg, dtype=np.int64, out=csum[1:])
+            counts = csum[starts + self.window] - csum[starts]
+        bits = counts >= self.tau_sync
         return SyncDecodeResult(
-            bits=tuple(bits), counts=tuple(counts), positions=tuple(positions)
+            bits=tuple(int(b) for b in bits),
+            counts=tuple(int(c) for c in counts),
+            positions=tuple(int(s) for s in starts),
         )

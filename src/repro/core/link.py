@@ -31,6 +31,7 @@ from repro.core.encoder import SymBeeEncoder
 from repro.core.phase import cfo_compensation_phase
 from repro.core.preamble import capture_preamble
 from repro.dsp.signal_ops import linear_to_db, signal_power, watts_to_dbm
+from repro.runtime.timing import StageTimings
 from repro.wifi.front_end import WifiFrontEnd
 from repro.zigbee.channels import frequency_offset_hz
 from repro.zigbee.frame import PHY_OVERHEAD_BYTES
@@ -154,6 +155,10 @@ class SymBeeLink:
         #: pins at -4pi/5) and de-rotates the phase stream before the
         #: majority vote — an extension beyond the paper.
         self.track_residual_cfo = bool(track_residual_cfo)
+        #: Wall-clock per-stage counters (modulate / channel / front_end
+        #: / decode), accumulated across ``send_bits`` calls; the
+        #: Monte-Carlo runtime merges worker shards into one breakdown.
+        self.timings = StageTimings()
 
     # -- geometry -------------------------------------------------------------
 
@@ -182,68 +187,114 @@ class SymBeeLink:
 
     # -- transmission -----------------------------------------------------------
 
-    def send_bits(self, bits, rng, keep_phases=False, decode_synchronized=True):
+    def send_bits(
+        self,
+        bits,
+        rng,
+        keep_phases=False,
+        decode_synchronized=True,
+        mac_sequence=None,
+    ):
         """Send one SymBee frame of raw message bits and decode it.
 
         ``decode_synchronized=False`` skips preamble capture and uses the
         ground-truth timing (used by ablation studies isolating the
-        decoder from the capture stage).
+        decoder from the capture stage).  ``mac_sequence`` pins the MAC
+        sequence number instead of consuming the transmitter's counter —
+        the parallel runtime uses it so a trial's frame bytes depend only
+        on the trial index, not on which worker runs it.
+
+        The receive side runs on the decoder's phasor stream: votes are
+        sign tests on the rotated autocorrelation products and preamble
+        folding consumes unit phasors, so the angle stream is only
+        materialized when ``keep_phases`` or residual-CFO tracking needs
+        it.  Decisions are identical to the angle-domain formulation.
         """
-        bits = tuple(int(b) for b in bits)
-        payload = self.encoder.encode_message(bits)
-        frame = self.transmitter.build_frame(payload)
-        waveform = self.transmitter.transmit_frame(frame)
+        timings = self.timings
+        with timings.stage("modulate"):
+            bits = tuple(int(b) for b in bits)
+            payload = self.encoder.encode_message(bits)
+            if mac_sequence is None:
+                frame = self.transmitter.build_frame(payload)
+            else:
+                frame = self.transmitter.build_frame(
+                    payload, sequence=int(mac_sequence) & 0xFF
+                )
+            waveform = self.transmitter.transmit_frame(frame)
 
-        if self.link_channel is not None:
-            rx_waveform = self.link_channel.apply(waveform, rng)
-        else:
-            rx_waveform = waveform
-        if self.residual_cfo_hz != 0.0:
-            from repro.dsp.signal_ops import mix
+        with timings.stage("channel"):
+            if self.link_channel is not None:
+                rx_waveform = self.link_channel.apply(waveform, rng)
+            else:
+                rx_waveform = waveform
+            if self.residual_cfo_hz != 0.0:
+                from repro.dsp.signal_ops import mix
 
-            rx_waveform = mix(
-                rx_waveform, self.residual_cfo_hz, self.decoder.sample_rate
+                rx_waveform = mix(
+                    rx_waveform, self.residual_cfo_hz, self.decoder.sample_rate
+                )
+
+        with timings.stage("front_end"):
+            rx_power = signal_power(rx_waveform)
+            rx_power_dbm = float(watts_to_dbm(rx_power))
+            snr_db = float(
+                linear_to_db(rx_power / self.front_end.noise_power_watts)
             )
-        rx_power = signal_power(rx_waveform)
-        rx_power_dbm = float(watts_to_dbm(rx_power))
-        snr_db = float(linear_to_db(rx_power / self.front_end.noise_power_watts))
 
-        total = self.lead_in_samples + rx_waveform.size + self.tail_samples
-        contributions = [
-            (rx_waveform, self.lead_in_samples, self.transmitter.center_frequency)
-        ]
-        if self.interference is not None:
-            contributions += self.interference.contributions(
-                total, rx_power, rng, self.front_end.center_frequency
+            total = self.lead_in_samples + rx_waveform.size + self.tail_samples
+            contributions = [
+                (rx_waveform, self.lead_in_samples, self.transmitter.center_frequency)
+            ]
+            if self.interference is not None:
+                contributions += self.interference.contributions(
+                    total, rx_power, rng, self.front_end.center_frequency
+                )
+            capture = self.front_end.capture(
+                contributions, total, rng=rng, include_noise=self.include_noise
             )
-        capture = self.front_end.capture(
-            contributions, total, rng=rng, include_noise=self.include_noise
-        )
-        phases = self.decoder.phases(capture)
 
-        true_start = self.true_bit_positions(1)[0]
-        if decode_synchronized:
-            pre = capture_preamble(phases, self.decoder)
-            captured = pre is not None
-            data_start = pre.data_start if captured else None
-            if captured and self.track_residual_cfo:
+        with timings.stage("decode"):
+            phasors = self.decoder.phasor_stream(capture)
+            phases = None
+
+            true_start = self.true_bit_positions(1)[0]
+            if decode_synchronized:
+                pre = capture_preamble(
+                    None, self.decoder, unit_phasors=self.decoder.unit_phasors(phasors)
+                )
+                captured = pre is not None
+                data_start = pre.data_start if captured else None
+            else:
+                captured = True
+                data_start = true_start
+
+            if captured and decode_synchronized and self.track_residual_cfo:
                 from repro.dsp.signal_ops import wrap_phase
 
                 deviation = wrap_phase(pre.mean_angle + SYMBEE_STABLE_PHASE)
-                phases = wrap_phase(phases - deviation)
-        else:
-            captured = True
-            data_start = true_start
+                phases = wrap_phase(self.decoder.phases(capture) - deviation)
 
-        if captured:
-            result = self.decoder.decode_synchronized(phases, data_start, len(bits))
-            decoded = result.bits
-            counts = result.counts
-            errors = sum(
-                1 for sent, got in zip(bits, decoded) if sent != got
-            ) + max(0, len(bits) - len(decoded))
-        else:
-            decoded, counts, errors = (), (), len(bits)
+            if captured:
+                if phases is not None:
+                    result = self.decoder.decode_synchronized(
+                        phases, data_start, len(bits)
+                    )
+                else:
+                    result = self.decoder.decode_synchronized_mask(
+                        phasors.imag >= 0.0, data_start, len(bits)
+                    )
+                decoded = result.bits
+                counts = result.counts
+                errors = sum(
+                    1 for sent, got in zip(bits, decoded) if sent != got
+                ) + max(0, len(bits) - len(decoded))
+            else:
+                decoded, counts, errors = (), (), len(bits)
+
+            if keep_phases and phases is None:
+                # The exact angle-path stream (wrap convention included),
+                # since tests assert on stored phase values.
+                phases = self.decoder.phases(capture)
 
         return LinkResult(
             sent_bits=bits,

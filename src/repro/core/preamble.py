@@ -40,8 +40,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import SYMBEE_PREAMBLE_BITS, SYMBEE_STABLE_PHASE
-from repro.dsp.folding import circular_folded_profile, folded_profile
-from repro.dsp.runs import sliding_count
+from repro.dsp.folding import folded_profile, phasor_folded_profile
+from repro.dsp.runs import sliding_count, sliding_window_sum
 
 _STABLE = SYMBEE_STABLE_PHASE
 
@@ -75,6 +75,7 @@ def capture_preamble(
     coherence_slack=0.2,
     coherence_min=0.5,
     mode="circular",
+    unit_phasors=None,
 ):
     """Scan a phase stream for the SymBee preamble.
 
@@ -83,38 +84,39 @@ def capture_preamble(
     ``max(best_qualifying_coherence - coherence_slack, coherence_min)``,
     as a :class:`PreambleCapture`; ``None`` when nothing qualifies.
     ``mode="sum"`` is the paper-literal column sum (count test only).
+
+    Circular mode accepts ``unit_phasors`` (``exp(j*phases)``, e.g. from
+    ``SymBeeDecoder.unit_phasors``) in place of ``phases``; the fast
+    receive path hands the phasor stream over directly so the angle
+    stream is never materialized.  Window statistics run on O(N)
+    cumulative sums, and a capture with no count-qualifying window
+    returns early before any coherence work.
     """
     tau = decoder.tau if tau is None else int(tau)
-    phases = np.asarray(phases)
 
     if mode == "circular":
-        profile = circular_folded_profile(phases, decoder.bit_period, folds)
+        if unit_phasors is None:
+            unit_phasors = np.exp(1j * np.asarray(phases, dtype=float))
+        else:
+            unit_phasors = np.asarray(unit_phasors)
+        profile = phasor_folded_profile(unit_phasors, decoder.bit_period, folds)
         if profile.size < decoder.window:
             return None
-        negative = np.angle(profile) < 0
-        kernel = np.ones(decoder.window)
-        coherence = (
-            np.convolve(np.abs(profile) / folds, kernel, mode="valid")
-            / decoder.window
-        )
-        # Within-window angle concentration: a real preamble window holds
-        # one phase level (concentration ~1), while 802.15.4-header
-        # windows — even perfectly fold-coherent ones like the PHY
-        # preamble — spread across several discrete levels (~0.5).  The
-        # statistic is rotation-invariant, so it also rejects header
-        # ghosts under residual carrier offsets that push their negative
-        # counts over the floor.
-        unit = profile / np.maximum(np.abs(profile), 1e-12)
-        concentration = (
-            np.abs(np.convolve(unit, kernel, mode="valid")) / decoder.window
-        )
+        # angle(profile) < 0 without computing angles: atan2 is negative
+        # iff imag < 0, or exactly -pi for (-0.0 imag, negative real).
+        negative = profile.imag < 0.0
+        if (profile.imag == 0.0).any():
+            negative |= (
+                np.signbit(profile.imag)
+                & (profile.imag == 0.0)
+                & (profile.real < 0.0)
+            )
     elif mode == "sum":
         summed = folded_profile(phases, decoder.bit_period, folds)
         if summed.size < decoder.window:
             return None
         negative = summed < 0
-        coherence = None
-        concentration = None
+        profile = None
     else:
         raise ValueError(f"unknown fold mode: {mode!r}")
 
@@ -123,21 +125,55 @@ def capture_preamble(
     best_count = int(counts.max()) if counts.size else 0
     if best_count < floor:
         return None
-    qualifying = counts >= floor
+    indices = np.flatnonzero(counts >= floor)
+    coherence_at = {}
 
-    if coherence is not None:
-        best_coherence = float(coherence[qualifying].max())
-        qualifying &= coherence >= max(
-            best_coherence - coherence_slack, coherence_min
-        )
-        if not qualifying.any():
+    if mode == "circular":
+        # Coherence/concentration are only consulted at count-qualifying
+        # windows, which are a tiny fraction of the stream — gather just
+        # those windows instead of running full sliding sums.  When the
+        # candidate set is unusually dense (clean captures full of zero
+        # bits), the gather would exceed the stream size and the O(N)
+        # cumulative-sum path wins, so fall back to it.
+        window = decoder.window
+        if indices.size * window <= profile.size:
+            win = profile[indices[:, None] + np.arange(window)]
+            win_mag = np.abs(win)
+            coherence_q = win_mag.sum(axis=1) / (folds * window)
+        else:
+            magnitude = np.abs(profile)
+            win = win_mag = None
+            coherence_q = (
+                sliding_window_sum(magnitude, window)[indices] / (folds * window)
+            )
+        best_coherence = float(coherence_q.max())
+        keep = coherence_q >= max(best_coherence - coherence_slack, coherence_min)
+        if not keep.any():
             return None
-        best_concentration = float(concentration[qualifying].max())
-        qualifying &= concentration >= max(
-            best_concentration - coherence_slack, 0.6
-        )
+        indices = indices[keep]
+        coherence_q = coherence_q[keep]
+        # Within-window angle concentration: a real preamble window holds
+        # one phase level (concentration ~1), while 802.15.4-header
+        # windows — even perfectly fold-coherent ones like the PHY
+        # preamble — spread across several discrete levels (~0.5).  The
+        # statistic is rotation-invariant, so it also rejects header
+        # ghosts under residual carrier offsets that push their negative
+        # counts over the floor.
+        if win is not None:
+            unit_win = win[keep] / np.maximum(win_mag[keep], 1e-12)
+            concentration_q = np.abs(unit_win.sum(axis=1)) / window
+        else:
+            unit = profile / np.maximum(magnitude, 1e-12)
+            concentration_q = (
+                np.abs(sliding_window_sum(unit, window)[indices]) / window
+            )
+        best_concentration = float(concentration_q.max())
+        keep = concentration_q >= max(best_concentration - coherence_slack, 0.6)
+        if not keep.any():
+            return None
+        indices = indices[keep]
+        coherence_at = dict(zip(indices.tolist(), coherence_q[keep].tolist()))
 
-    indices = np.flatnonzero(qualifying)
     if indices.size == 0:
         return None
     # Anchor inside the first qualifying cluster at its count peak: the
@@ -161,6 +197,6 @@ def capture_preamble(
         index=n0,
         data_start=n0 + folds * decoder.bit_period,
         negative_count=int(counts[n0]),
-        coherence=float(coherence[n0]) if coherence is not None else 1.0,
+        coherence=coherence_at.get(n0, 1.0),
         mean_angle=mean_angle,
     )

@@ -56,13 +56,33 @@ def circular_folded_profile(angles, period, folds):
         raise ValueError("period must be positive")
     if folds <= 0:
         raise ValueError("folds must be positive")
-    span = period * (folds - 1)
-    if angles.size <= span:
+    if angles.size <= period * (folds - 1):
         return np.empty(0, dtype=np.complex128)
-    phasors = np.exp(1j * angles)
-    out_len = angles.size - span
-    out = np.zeros(out_len, dtype=np.complex128)
-    for i in range(folds):
+    return phasor_folded_profile(np.exp(1j * angles), period, folds)
+
+
+def phasor_folded_profile(phasors, period, folds):
+    """Sliding phasor fold of an already-exponentiated stream.
+
+    Same output as :func:`circular_folded_profile` given
+    ``phasors = exp(j*angles)``; receivers that carry the complex
+    autocorrelation products around (see
+    ``SymBeeDecoder.phasor_stream``) fold their unit phasors directly
+    and skip the angle -> exp round trip.
+    """
+    phasors = np.asarray(phasors, dtype=np.complex128)
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if folds <= 0:
+        raise ValueError("folds must be positive")
+    span = period * (folds - 1)
+    if phasors.size <= span:
+        return np.empty(0, dtype=np.complex128)
+    out_len = phasors.size - span
+    if folds == 1:
+        return phasors[:out_len].copy()
+    out = phasors[:out_len] + phasors[period : period + out_len]
+    for i in range(2, folds):
         out += phasors[i * period : i * period + out_len]
     return out
 

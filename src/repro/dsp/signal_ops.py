@@ -43,6 +43,12 @@ def signal_power(x):
     x = np.asarray(x)
     if x.size == 0:
         return 0.0
+    flat = x.ravel()
+    if np.iscomplexobj(flat):
+        # One BLAS pass instead of abs -> square -> mean (and no sqrt).
+        return float(np.vdot(flat, flat).real) / flat.size
+    if flat.dtype.kind == "f":
+        return float(np.dot(flat, flat)) / flat.size
     return float(np.mean(np.abs(x) ** 2))
 
 
@@ -58,17 +64,59 @@ def scale_to_power(x, target_power):
     """Scale ``x`` so its mean power equals ``target_power`` (linear units)."""
     if target_power < 0:
         raise ValueError("target_power must be nonnegative")
-    return normalize_power(x) * np.sqrt(target_power)
+    p = signal_power(x)
+    if p == 0.0:
+        return np.asarray(x) * np.sqrt(target_power)
+    return np.asarray(x) * np.sqrt(target_power / p)
 
 
-def mix(x, frequency_offset_hz, sample_rate_hz, initial_phase=0.0):
+#: LRU of precomputed mixer phasor tables; entries are ~1 MB at typical
+#: frame lengths, so the table is kept deliberately small.
+_ROTATOR_CACHE = {}
+_ROTATOR_CACHE_MAX = 8
+
+
+def mixer_rotator(frequency_offset_hz, sample_rate_hz, n, initial_phase=0.0):
+    """The length-``n`` mixer phasor ``exp(j*(2*pi*f*t + phase0))``, memoized.
+
+    Monte-Carlo trials downconvert same-length waveforms at the same
+    centre-frequency offset thousands of times; the complex exponential
+    dominates the mixer cost, so it is cached (read-only) and reused.
+    """
+    key = (
+        float(frequency_offset_hz),
+        float(sample_rate_hz),
+        int(n),
+        float(initial_phase),
+    )
+    rotator = _ROTATOR_CACHE.get(key)
+    if rotator is None:
+        t = np.arange(int(n))
+        rotator = np.exp(
+            1j
+            * (2.0 * np.pi * frequency_offset_hz * t / sample_rate_hz + initial_phase)
+        )
+        rotator.setflags(write=False)
+        while len(_ROTATOR_CACHE) >= _ROTATOR_CACHE_MAX:
+            _ROTATOR_CACHE.pop(next(iter(_ROTATOR_CACHE)))
+        _ROTATOR_CACHE[key] = rotator
+    return rotator
+
+
+def mix(x, frequency_offset_hz, sample_rate_hz, initial_phase=0.0, cache=False):
     """Frequency-shift a complex baseband signal.
 
     Multiplies ``x`` by ``exp(j*(2*pi*f*t + phase0))``, which models a mixer
     moving the signal by ``frequency_offset_hz``.  A positive offset moves
-    the spectrum up.
+    the spectrum up.  With ``cache=True`` the phasor table is memoized
+    across calls (hot receive paths mix fixed-length waveforms at a fixed
+    offset every trial); the output is identical either way.
     """
     x = np.asarray(x)
+    if cache:
+        return x * mixer_rotator(
+            frequency_offset_hz, sample_rate_hz, x.size, initial_phase
+        )
     n = np.arange(x.size)
     rotator = np.exp(
         1j * (2.0 * np.pi * frequency_offset_hz * n / sample_rate_hz + initial_phase)

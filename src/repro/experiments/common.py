@@ -2,7 +2,10 @@
 
 Monte-Carlo sizes scale with the ``REPRO_SCALE`` environment variable
 (default 1.0): benches run quickly at the default, and ``REPRO_SCALE=10``
-reproduces with tight confidence intervals.
+reproduces with tight confidence intervals.  Trials run through
+``repro.runtime`` — ``REPRO_JOBS`` (or the ``jobs=`` argument) selects
+process-parallel execution, and every trial draws from its own
+``SeedSequence`` child so results are bit-identical at any job count.
 """
 
 import os
@@ -13,6 +16,8 @@ import numpy as np
 from repro.core.analytics import raw_bit_rate_bps
 from repro.core.link import SymBeeLink
 from repro.dsp.signal_ops import watts_to_dbm
+from repro.runtime import as_seed_sequence, run_trials
+from repro.runtime.timing import StageTimings
 
 
 def mc_scale():
@@ -39,6 +44,10 @@ class LinkStats:
     bits_delivered: int = 0
     bit_errors: int = 0
     snr_samples: list = field(default_factory=list)
+    #: Per-stage wall-clock breakdown of the trials behind these stats
+    #: (merged across worker processes); excluded from equality so
+    #: parallel and serial runs of the same seed compare equal.
+    timings: StageTimings = field(default_factory=StageTimings, compare=False)
 
     def add(self, result):
         self.frames += 1
@@ -74,12 +83,34 @@ class LinkStats:
         return float(np.mean(self.snr_samples)) if self.snr_samples else float("nan")
 
 
-def measure_link(link, rng, n_frames=20, bits_per_frame=64, **send_kwargs):
-    """Run ``n_frames`` random frames over a link and aggregate."""
+def _link_trial(task):
+    """One Monte-Carlo trial (module-level so it pickles to workers)."""
+    link, seed, bits_per_frame, mac_sequence, send_kwargs = task
+    rng = np.random.default_rng(seed)
+    link.timings.reset()
+    bits = rng.integers(0, 2, bits_per_frame)
+    result = link.send_bits(bits, rng, mac_sequence=mac_sequence, **send_kwargs)
+    return result, link.timings.as_dict()
+
+
+def measure_link(link, rng, n_frames=20, bits_per_frame=64, jobs=None,
+                 **send_kwargs):
+    """Run ``n_frames`` random frames over a link and aggregate.
+
+    Each trial gets its own child of ``rng``'s seed sequence and an
+    explicit MAC sequence number (the trial index), so trial ``k`` is a
+    pure function of the experiment seed — the same ``LinkStats`` comes
+    back whether trials run serially or across ``jobs`` processes.
+    """
+    seeds = as_seed_sequence(rng).spawn(n_frames)
+    tasks = [
+        (link, seeds[k], bits_per_frame, k & 0xFF, send_kwargs)
+        for k in range(n_frames)
+    ]
     stats = LinkStats()
-    for _ in range(n_frames):
-        bits = rng.integers(0, 2, bits_per_frame)
-        stats.add(link.send_bits(bits, rng, **send_kwargs))
+    for result, shard in run_trials(_link_trial, tasks, jobs=jobs):
+        stats.add(result)
+        stats.timings.merge(shard)
     return stats
 
 
@@ -104,26 +135,28 @@ SCENARIO_ORDER = ("outdoor", "classroom", "office", "dormitory", "library", "mal
 
 
 def scenario_sweep(rng, scenarios=SCENARIO_ORDER, distances=DISTANCES_M,
-                   n_frames=20, bits_per_frame=64):
+                   n_frames=20, bits_per_frame=64, jobs=None):
     """The Figure 13/14 sweep: per-scenario, per-distance link stats.
 
-    Returns ``{scenario: {distance: LinkStats}}``.
+    Returns ``{scenario: {distance: LinkStats}}``.  Every (scenario,
+    distance) cell derives its seed from ``rng`` in a fixed order, so the
+    sweep is deterministic for any ``jobs`` setting.
     """
     from repro.channel.scenarios import get_scenario
 
-    results = {}
-    for name in scenarios:
+    cells = [(name, distance) for name in scenarios for distance in distances]
+    seeds = as_seed_sequence(rng).spawn(len(cells))
+    results = {name: {} for name in scenarios}
+    for (name, distance), seed in zip(cells, seeds):
         scenario = get_scenario(name)
-        per_distance = {}
-        for distance in distances:
-            link = SymBeeLink(
-                link_channel=scenario.link(distance),
-                interference=scenario.interference(),
-            )
-            per_distance[distance] = measure_link(
-                link, rng, n_frames=n_frames, bits_per_frame=bits_per_frame
-            )
-        results[name] = per_distance
+        link = SymBeeLink(
+            link_channel=scenario.link(distance),
+            interference=scenario.interference(),
+        )
+        results[name][distance] = measure_link(
+            link, seed, n_frames=n_frames, bits_per_frame=bits_per_frame,
+            jobs=jobs,
+        )
     return results
 
 

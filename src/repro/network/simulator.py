@@ -22,9 +22,31 @@ import numpy as np
 
 from repro.core.frame import frame_overhead_bits
 from repro.core.link import SymBeeLink
+from repro.runtime import as_seed_sequence, run_trials
+from repro.runtime.timing import StageTimings
 from repro.zigbee.csma import CsmaCa
 from repro.zigbee.frame import ppdu_duration_seconds
 from repro.zigbee.mac import MAC_OVERHEAD_BYTES
+
+
+def _phy_trial(task):
+    """One PHY frame evaluation (module-level so it pickles to workers).
+
+    The trial rng is derived purely from the transmission's identity, so
+    outcomes match between inline and deferred/parallel evaluation.
+    """
+    link, seed, data_bits, sequence = task
+    rng = np.random.default_rng(seed)
+    link.timings.reset()
+    bits = rng.integers(0, 2, data_bits)
+    _, frame = link.send_frame(
+        bits,
+        sequence=sequence & 0xFF,
+        rng=rng,
+        mac_sequence=sequence & 0xFF,
+    )
+    delivered = frame is not None and frame.crc_ok
+    return delivered, link.timings.as_dict()
 
 
 @dataclass(frozen=True)
@@ -142,6 +164,7 @@ class ConvergecastNetwork:
         seed=0,
         csma=None,
         carrier_sense_range_m=None,
+        jobs=None,
     ):
         self.nodes = list(nodes)
         if not self.nodes:
@@ -150,6 +173,16 @@ class ConvergecastNetwork:
         self.sim_duration_s = float(sim_duration_s)
         self.max_retries = int(max_retries)
         self.rng = np.random.default_rng(seed)
+        #: PHY trial seeds derive from this root keyed by the
+        #: transmission identity (node, sequence, attempt), so a frame's
+        #: fate is independent of evaluation order and worker count.
+        self._phy_seed_root = as_seed_sequence(seed)
+        #: Worker processes for PHY evaluation (None -> ``REPRO_JOBS``).
+        #: Only ``max_retries=0`` runs can parallelize: with retries, a
+        #: frame's delivery outcome feeds back into the MAC schedule.
+        self.jobs = jobs
+        #: Merged per-stage PHY timing breakdown across all evaluations.
+        self.phy_timings = StageTimings()
         self.csma = csma if csma is not None else CsmaCa()
         #: When set (and nodes carry positions), a node's CCA only hears
         #: transmitters within this range — the hidden-terminal model.
@@ -204,6 +237,14 @@ class ConvergecastNetwork:
         payload_bytes = 4 + frame_overhead_bits() + node.data_bits
         return ppdu_duration_seconds(payload_bytes + MAC_OVERHEAD_BYTES)
 
+    def _phy_seed(self, node_id, sequence, attempt):
+        """Deterministic per-transmission seed, independent of order."""
+        root = self._phy_seed_root
+        return np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=root.spawn_key + (int(node_id), int(sequence), int(attempt)),
+        )
+
     # -- simulation ----------------------------------------------------------------
 
     def _generate_arrivals(self):
@@ -220,12 +261,22 @@ class ConvergecastNetwork:
         return arrivals
 
     def run(self):
-        """Run one simulation and return a :class:`NetworkResult`."""
+        """Run one simulation and return a :class:`NetworkResult`.
+
+        The MAC timeline always runs serially (it is a single shared
+        channel).  PHY evaluations run inline when retries are enabled —
+        a lost frame reschedules itself, so delivery must be known before
+        the event loop proceeds — and are otherwise deferred and batched
+        through the parallel runtime, since without retries a frame's
+        fate cannot influence the schedule.
+        """
         arrivals = self._generate_arrivals()
         result = NetworkResult(
             readings_generated=len(arrivals), sim_duration_s=self.sim_duration_s
         )
         node_free_at = {node.node_id: 0.0 for node in self.nodes}
+        defer_phy = self.max_retries == 0
+        deferred = []  # (record, phy task) pairs when defer_phy
 
         pending = []
         for created, node, sequence in arrivals:
@@ -275,16 +326,32 @@ class ConvergecastNetwork:
             node_free_at[node.node_id] = record.end_s
 
             if not record.collided:
-                link = self._links[node.node_id]
-                bits = self.rng.integers(0, 2, node.data_bits)
-                _, frame = link.send_frame(
-                    bits, sequence=sequence & 0xFF, rng=self.rng
+                task = (
+                    self._links[node.node_id],
+                    self._phy_seed(node.node_id, sequence, attempt),
+                    node.data_bits,
+                    sequence,
                 )
-                record.delivered = frame is not None and frame.crc_ok
+                if defer_phy:
+                    deferred.append((record, task))
+                else:
+                    delivered, shard = _phy_trial(task)
+                    self.phy_timings.merge(shard)
+                    record.delivered = delivered
 
             result.records.append(record)
             if not record.delivered and attempt < self.max_retries:
                 pending.append((record.end_s, node, sequence, attempt + 1))
                 pending.sort(key=lambda item: item[0])
+
+        if deferred:
+            outcomes = run_trials(
+                _phy_trial, [task for _, task in deferred], jobs=self.jobs
+            )
+            for (record, _), (delivered, shard) in zip(deferred, outcomes):
+                self.phy_timings.merge(shard)
+                # A later event may have revoked this record (hidden-
+                # terminal collision at the sink) after it was queued.
+                record.delivered = delivered and not record.collided
 
         return result

@@ -1,0 +1,58 @@
+"""Process-pool trial executor with a serial fallback.
+
+``run_trials`` runs one picklable function over a list of task tuples
+and returns the results **in task order**, which together with
+:mod:`repro.runtime.seeding` makes parallel runs reproduce serial runs
+exactly.  The worker count comes from the ``REPRO_JOBS`` environment
+variable (``1`` = serial, ``auto``/``0`` = all cores) unless a call
+overrides it.
+
+The serial path never touches ``concurrent.futures``, so ``jobs=1``
+keeps the exact call profile (and debuggability) of the original code.
+"""
+
+import os
+from math import ceil
+
+
+def default_jobs():
+    """Worker count from ``REPRO_JOBS`` (default 1; ``auto``/``0`` = cores)."""
+    raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+def resolve_jobs(jobs=None):
+    """Normalize a ``jobs`` argument (``None`` defers to ``REPRO_JOBS``)."""
+    if jobs is None:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def run_trials(fn, tasks, jobs=None, chunk_size=None):
+    """Apply ``fn`` to every task, serially or across a process pool.
+
+    ``tasks`` is a sequence of picklable argument objects; ``fn`` must be
+    a module-level function (picklable by reference).  Results come back
+    in task order.  ``jobs=1`` (or a single task) runs inline with no
+    pool overhead.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(tasks))
+    if chunk_size is None:
+        # ~4 chunks per worker bounds both scheduling overhead and the
+        # tail-latency cost of one straggler chunk.
+        chunk_size = max(1, ceil(len(tasks) / (workers * 4)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunk_size))

@@ -1,0 +1,90 @@
+"""Per-stage wall-clock counters for the link pipeline.
+
+``StageTimings`` is a tiny accumulator of ``stage -> (seconds, calls)``
+that travels with a :class:`repro.core.SymBeeLink` through pickling, so
+parallel workers can report where their time went and the parent can
+merge the shards into one breakdown.  The canonical link stages are
+``modulate``, ``channel``, ``front_end`` and ``decode``; arbitrary stage
+names are accepted so other pipelines can reuse the counter.
+"""
+
+import time
+from contextlib import contextmanager
+
+#: Canonical link-pipeline stage order (used for stable reporting).
+LINK_STAGES = ("modulate", "channel", "front_end", "decode")
+
+
+class StageTimings:
+    """Accumulates wall-clock seconds and call counts per pipeline stage."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self):
+        self.seconds = {}
+        self.calls = {}
+
+    def add(self, stage, dt, calls=1):
+        """Record ``dt`` seconds spent in ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + float(dt)
+        self.calls[stage] = self.calls.get(stage, 0) + int(calls)
+
+    @contextmanager
+    def stage(self, name):
+        """Context manager timing one pass through a stage."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def merge(self, other):
+        """Fold another ``StageTimings`` (or its ``as_dict``) into this one."""
+        if isinstance(other, StageTimings):
+            items = (
+                (stage, other.seconds[stage], other.calls.get(stage, 0))
+                for stage in other.seconds
+            )
+        else:
+            items = (
+                (stage, entry["seconds"], entry["calls"])
+                for stage, entry in other.items()
+            )
+        for stage, seconds, calls in items:
+            self.add(stage, seconds, calls)
+        return self
+
+    def reset(self):
+        self.seconds.clear()
+        self.calls.clear()
+
+    @property
+    def total_seconds(self):
+        return sum(self.seconds.values())
+
+    def _ordered_stages(self):
+        known = [s for s in LINK_STAGES if s in self.seconds]
+        extra = sorted(s for s in self.seconds if s not in LINK_STAGES)
+        return known + extra
+
+    def as_dict(self):
+        """``{stage: {"seconds": s, "calls": c}}`` in canonical order."""
+        return {
+            stage: {"seconds": self.seconds[stage], "calls": self.calls.get(stage, 0)}
+            for stage in self._ordered_stages()
+        }
+
+    def summary(self):
+        """One-line human-readable breakdown."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return "no stages timed"
+        parts = [
+            f"{stage} {self.seconds[stage] * 1e3:.1f} ms"
+            f" ({100.0 * self.seconds[stage] / total:.0f}%)"
+            for stage in self._ordered_stages()
+        ]
+        return ", ".join(parts)
+
+    def __repr__(self):
+        return f"StageTimings({self.summary()})"

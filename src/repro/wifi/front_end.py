@@ -63,7 +63,9 @@ class WifiFrontEnd:
         sidesteps resampling artefacts in the cross-observability study).
         """
         offset = self.frequency_offset(source_center_frequency)
-        return mix(waveform, offset, self.sample_rate, initial_phase=initial_phase)
+        return mix(
+            waveform, offset, self.sample_rate, initial_phase=initial_phase, cache=True
+        )
 
     def capture(self, contributions, n_samples, rng=None, include_noise=True):
         """Assemble one baseband capture from multiple on-air sources.
@@ -73,7 +75,14 @@ class WifiFrontEnd:
         at its start offset, then receiver noise is applied.  Waveforms
         falling partly outside the capture are clipped.
         """
-        out = np.zeros(int(n_samples), dtype=np.complex128)
+        # Start from the noise floor and add signals into it (float
+        # addition commutes, so per-sample sums match noise-last order).
+        if include_noise:
+            if rng is None:
+                raise ValueError("rng is required when include_noise=True")
+            out = complex_gaussian(int(n_samples), self.noise_power_watts, rng)
+        else:
+            out = np.zeros(int(n_samples), dtype=np.complex128)
         for waveform, start, f_center in contributions:
             shifted = self.downconvert(np.asarray(waveform), f_center)
             start = int(start)
@@ -83,8 +92,4 @@ class WifiFrontEnd:
             dst_lo = max(0, start)
             span = min(shifted.size - src_lo, out.size - dst_lo)
             out[dst_lo : dst_lo + span] += shifted[src_lo : src_lo + span]
-        if include_noise:
-            if rng is None:
-                raise ValueError("rng is required when include_noise=True")
-            out += complex_gaussian(out.size, self.noise_power_watts, rng)
         return out

@@ -21,7 +21,7 @@ from repro.constants import (
     WIFI_SAMPLE_RATE_20MHZ,
     WIFI_STF_DURATION,
 )
-from repro.dsp.runs import run_starts
+from repro.dsp.runs import run_starts, sliding_window_sum
 
 
 def phase_differences(samples, lag):
@@ -47,6 +47,10 @@ def autocorrelation_metric(samples, lag, window=None):
     ``W = lag`` unless overridden.  Values near 1 indicate a signal that
     repeats with period ``lag`` — a WiFi STF.  Returns ``(metric, angle(P))``;
     the windowed phase is robust where individual samples are near zero.
+
+    The window sums run over every sample the receiver captures, so they
+    are computed with O(N) cumulative sums rather than O(N*W)
+    convolutions (identical up to float accumulation order).
     """
     samples = np.asarray(samples)
     if window is None:
@@ -56,9 +60,8 @@ def autocorrelation_metric(samples, lag, window=None):
         return empty, empty
     prod = samples[:-lag] * np.conj(samples[lag:])
     energy = np.abs(samples[lag:]) ** 2
-    kernel = np.ones(window)
-    p = np.convolve(prod, kernel, mode="valid")
-    r = np.convolve(energy, kernel, mode="valid")
+    p = sliding_window_sum(prod, window)
+    r = sliding_window_sum(energy, window)
     with np.errstate(divide="ignore", invalid="ignore"):
         metric = np.abs(p) ** 2 / np.maximum(r, 1e-30) ** 2
     return metric, np.angle(p)

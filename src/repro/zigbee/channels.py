@@ -7,6 +7,8 @@ m in {-2,-1,0,1} — the fact the paper's Appendix B leans on for its
 constant CFO-compensation term.
 """
 
+from functools import lru_cache
+
 #: ZigBee channel number -> centre frequency in Hz.
 ZIGBEE_CHANNELS = {k: (2405 + 5 * (k - 11)) * 1_000_000.0 for k in range(11, 27)}
 
@@ -19,29 +21,36 @@ def zigbee_channel_frequency(channel):
         raise ValueError(f"ZigBee channel must be 11..26, got {channel}") from None
 
 
+@lru_cache(maxsize=None)
+def _overlapping_wifi_channels(zigbee_channel, wifi_bandwidth_hz):
+    from repro.wifi.channels import WIFI_CHANNELS
+    from repro.constants import ZIGBEE_BANDWIDTH
+
+    f_zigbee = zigbee_channel_frequency(zigbee_channel)
+    half_span = wifi_bandwidth_hz / 2.0 - ZIGBEE_BANDWIDTH / 2.0
+    return tuple(
+        ch
+        for ch, f_wifi in WIFI_CHANNELS.items()
+        if abs(f_zigbee - f_wifi) <= half_span
+    )
+
+
 def overlapping_wifi_channels(zigbee_channel, wifi_bandwidth_hz=20e6):
     """WiFi channels (1-13) whose band contains the ZigBee channel.
 
     Overlap is judged on the ZigBee signal's 2 MHz occupancy falling inside
     the WiFi channel's bandwidth.
     """
-    from repro.wifi.channels import WIFI_CHANNELS
-    from repro.constants import ZIGBEE_BANDWIDTH
-
-    f_zigbee = zigbee_channel_frequency(zigbee_channel)
-    half_span = wifi_bandwidth_hz / 2.0 - ZIGBEE_BANDWIDTH / 2.0
-    return [
-        ch
-        for ch, f_wifi in WIFI_CHANNELS.items()
-        if abs(f_zigbee - f_wifi) <= half_span
-    ]
+    return list(_overlapping_wifi_channels(zigbee_channel, float(wifi_bandwidth_hz)))
 
 
+@lru_cache(maxsize=None)
 def frequency_offset_hz(zigbee_channel, wifi_channel):
     """Centre-frequency offset f_zigbee - f_wifi in Hz.
 
     For every overlapping pair this is (3 + 5m) MHz, m in {-2,-1,0,1}
-    (paper Appendix B).
+    (paper Appendix B).  Pure lookup arithmetic, so the result is
+    memoized (link construction calls this per trial in sweeps).
     """
     from repro.wifi.channels import wifi_channel_frequency
 

@@ -18,7 +18,6 @@ no resampling error enters the cross-observability analysis.
 import numpy as np
 
 from repro.constants import ZIGBEE_PULSE_DURATION
-from repro.zigbee.dsss import spread
 from repro.zigbee.symbols import bytes_to_symbols
 
 
@@ -41,6 +40,9 @@ class OqpskModulator:
         t = np.arange(self.samples_per_pulse) / self.samples_per_pulse
         #: One half-sine pulse, peak amplitude 1.
         self.pulse = np.sin(np.pi * t)
+        # Lazily built 16-entry symbol -> baseband segment table; see
+        # _symbol_segments().
+        self._segments = None
 
     def waveform_length(self, n_chips):
         """Output sample count for ``n_chips`` chips (must be even)."""
@@ -73,9 +75,57 @@ class OqpskModulator:
         ).ravel()
         return in_phase + 1j * quadrature
 
+    def _symbol_segments(self):
+        """Precomputed per-symbol baseband segments (16 x waveform_length(32)).
+
+        Segment ``s`` is exactly ``modulate_chips(CHIP_MATRIX[s])``: 16
+        in-phase pulses filling a ``16 * samples_per_pulse`` block plus
+        the quadrature tail that spills ``quadrature_offset`` samples
+        into the next symbol's block.  Because the spilled tail is purely
+        quadrature and the next segment's head is purely in-phase there,
+        overlap-adding segments at a ``16 * samples_per_pulse`` stride
+        reproduces full-stream modulation sample-exactly.
+        """
+        if self._segments is None:
+            from repro.zigbee.symbols import CHIP_MATRIX
+
+            table = np.stack([self.modulate_chips(CHIP_MATRIX[s]) for s in range(16)])
+            seg_len = 16 * self.samples_per_pulse
+            # Split into contiguous (main, tail) halves so the per-frame
+            # gather is a straight block copy.
+            main = np.ascontiguousarray(table[:, :seg_len])
+            tail = np.ascontiguousarray(table[:, seg_len:])
+            main.setflags(write=False)
+            tail.setflags(write=False)
+            self._segments = (main, tail)
+        return self._segments
+
     def modulate_symbols(self, symbols):
-        """Spread 4-bit data symbols and render the waveform."""
-        return self.modulate_chips(spread(symbols))
+        """Spread 4-bit data symbols and render the waveform.
+
+        Renders via the per-symbol segment table (one gather plus an
+        overlap-add of the quadrature tails) instead of re-spreading and
+        pulse-shaping every chip; the output is sample-identical to
+        ``modulate_chips(spread(symbols))``.
+        """
+        symbols = np.asarray(list(symbols), dtype=np.intp)
+        if symbols.size == 0:
+            return np.empty(0, dtype=np.complex128)
+        if symbols.min() < 0 or symbols.max() > 0xF:
+            bad = symbols[(symbols < 0) | (symbols > 0xF)][0]
+            raise ValueError(f"symbol out of range: {bad}")
+        main, tail = self._symbol_segments()
+        seg_len = 16 * self.samples_per_pulse
+        off = self.quadrature_offset
+        n = symbols.size
+        out = np.empty(n * seg_len + off, dtype=np.complex128)
+        out[: n * seg_len].reshape(n, seg_len)[:] = main[symbols]
+        out[n * seg_len :] = 0.0
+        # Quadrature tails overlap the head of the following block (the
+        # head's quadrature part is zero there, so this is a pure add).
+        positions = seg_len * np.arange(1, n + 1)[:, None] + np.arange(off)[None, :]
+        out[positions] += tail[symbols]
+        return out
 
     def modulate_bytes(self, payload, nibble_order="low-first"):
         """Render a byte string (low nibble transmitted first by default)."""

@@ -1,0 +1,89 @@
+"""LRU cache of fully modulated frame waveforms.
+
+Monte-Carlo sweeps, MAC retransmissions and fixed-pattern BER runs (the
+paper's testbed sent fixed '01' payloads) modulate the same PPDU over
+and over; only the channel and noise realizations differ per trial.
+This cache memoizes the complex-baseband rendering keyed by
+``(psdu bytes, nibble order, channel, sample_rate, tx_power_dbm)`` so a
+repeated frame costs one dictionary lookup instead of a full DSSS
+spread + pulse-shaping pass.
+
+Entries are returned as **read-only** arrays (no defensive copy — every
+consumer in the pipeline derives new arrays).  The cache is process
+local and module level: forked parallel workers inherit a warm cache
+but per-task pickles never carry it.  Sizing comes from the
+``REPRO_WAVEFORM_CACHE_SIZE`` environment variable (entries; ``0``
+disables caching entirely).
+"""
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+
+def _default_size():
+    try:
+        return max(0, int(os.environ.get("REPRO_WAVEFORM_CACHE_SIZE", "64")))
+    except ValueError:
+        return 64
+
+
+class LruWaveformCache:
+    """A small LRU mapping of hashable keys to read-only numpy arrays."""
+
+    def __init__(self, maxsize=None):
+        self.maxsize = _default_size() if maxsize is None else max(0, int(maxsize))
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached waveform for ``key``, or ``None`` (counts a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, waveform):
+        """Store ``waveform`` (made read-only in place) under ``key``."""
+        if self.maxsize == 0:
+            return waveform
+        waveform = np.asarray(waveform)
+        waveform.setflags(write=False)
+        self._entries[key] = waveform
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return waveform
+
+    def get_or_compute(self, key, compute):
+        """Cached value for ``key``, computing and storing it on a miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        return self.put(key, compute())
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_info(self):
+        """``{"hits", "misses", "size", "maxsize"}`` snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+#: Process-wide cache of modulated frames, shared by all transmitters.
+FRAME_WAVEFORM_CACHE = LruWaveformCache()

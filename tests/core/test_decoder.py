@@ -160,3 +160,60 @@ class TestSynchronizedDecoding:
                 phases, plateau0 + offset, len(bits)
             )
             assert list(result.bits) == bits
+
+
+class TestPhasorPathEquivalence:
+    """The phasor-domain fast path must decide exactly like the angle path."""
+
+    def _noisy_capture(self, rng, cfo=0.8 * np.pi):
+        decoder = SymBeeDecoder(cfo_correction=cfo)
+        x = rng.standard_normal(4000) + 1j * rng.standard_normal(4000)
+        return decoder, x
+
+    def test_phasor_angle_matches_phases(self, rng):
+        decoder, x = self._noisy_capture(rng)
+        phases = decoder.phases(x)
+        angles = np.angle(decoder.phasor_stream(x))
+        # Identical up to the wrap convention at exactly +-pi.
+        delta = np.abs(np.mod(angles - phases + np.pi, 2 * np.pi) - np.pi)
+        assert np.max(delta) < 1e-9
+
+    def test_imag_sign_matches_nonnegative_phase(self, rng):
+        decoder, x = self._noisy_capture(rng)
+        phases = decoder.phases(x)
+        phasors = decoder.phasor_stream(x)
+        assert np.array_equal(phasors.imag >= 0.0, phases >= 0.0)
+
+    def test_unit_phasors_match_exp_of_phases(self, rng):
+        decoder, x = self._noisy_capture(rng)
+        unit = decoder.unit_phasors(decoder.phasor_stream(x))
+        assert np.allclose(np.abs(unit), 1.0)
+        assert np.allclose(unit, np.exp(1j * decoder.phases(x)), atol=1e-9)
+
+    def test_unit_phasors_fill_exact_silence(self):
+        decoder = SymBeeDecoder(cfo_correction=0.8 * np.pi)
+        x = np.zeros(100, dtype=np.complex128)
+        unit = decoder.unit_phasors(decoder.phasor_stream(x))
+        # exp(j * phases) at zero amplitude is exp(j * cfo_correction).
+        assert np.allclose(unit, np.exp(1j * decoder.phases(x)))
+
+    def test_mask_decode_matches_phase_decode(self, rng):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        phases, decoder = phases_for_bits(bits)
+        phases = phases + 0.3 * rng.standard_normal(phases.size)
+        from_phases = decoder.decode_synchronized(phases, 270, len(bits))
+        from_mask = decoder.decode_synchronized_mask(phases >= 0, 270, len(bits))
+        assert from_phases == from_mask
+
+    def test_mask_decode_gather_matches_cumsum_fallback(self, rng):
+        # Few bits in a long stream uses the gather path; many bits in a
+        # short stream takes the cumulative-sum fallback.  Same counts.
+        bits = [1, 0] * 4
+        phases, decoder = phases_for_bits(bits)
+        mask = rng.standard_normal(phases.size) >= -0.2
+        sparse = decoder.decode_synchronized_mask(mask, 100, 2)
+        positions = sparse.positions
+        dense = decoder.decode_synchronized_mask(mask, 100, len(bits))
+        assert dense.bits[:2] == sparse.bits
+        assert dense.counts[:2] == sparse.counts
+        assert dense.positions[:2] == positions

@@ -72,3 +72,25 @@ class TestCaptureEdgeCases:
         link, _, result = clean_capture
         pre = capture_preamble(result.phases, link.decoder, tau=0)
         assert pre is not None  # clean stream passes even tau = 0
+
+
+class TestUnitPhasorInput:
+    """capture_preamble accepts precomputed unit phasors (fast path)."""
+
+    def test_unit_phasors_equal_angle_input(self, clean_capture):
+        link, _, result = clean_capture
+        from_phases = capture_preamble(result.phases, link.decoder)
+        from_phasors = capture_preamble(
+            None, link.decoder, unit_phasors=np.exp(1j * result.phases)
+        )
+        assert from_phasors == from_phases
+
+    def test_unit_phasors_equal_angle_input_noisy(self, rng):
+        link = SymBeeLink(tx_power_dbm=-90.0)
+        for _ in range(5):
+            res = link.send_bits(rng.integers(0, 2, 16), rng, keep_phases=True)
+            a = capture_preamble(res.phases, link.decoder)
+            b = capture_preamble(
+                None, link.decoder, unit_phasors=np.exp(1j * res.phases)
+            )
+            assert a == b

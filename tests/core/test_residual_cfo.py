@@ -59,13 +59,18 @@ class TestTracking:
         pre = capture_preamble(result.phases, link.decoder)
         assert pre.mean_angle == pytest.approx(-0.8 * np.pi, abs=0.03)
 
-    def test_tracking_reduces_errors_at_margin(self, rng):
-        # SNR ~6 dB with +60 kHz offset: the shifted plateau loses votes
-        # to wrap noise; de-rotation recovers a large fraction.
+    def test_tracking_recovers_wrapped_bit_one_plateau(self, rng):
+        # -140 kHz shifts dp by +0.70 rad: the bit-1 plateau (+4pi/5)
+        # crosses the +pi wrap and reads negative, so untracked decoding
+        # misreads most 1-bits, while the preamble (bit 0s, now at
+        # -1.81 rad) still captures.  De-rotation restores the link.
+        # (The old operating point — 60 kHz at ~6 dB SNR — compared two
+        # noise-dominated error counts and was a coin flip at any trial
+        # count; this point separates the two decoders deterministically.)
         errors = {}
         for track in (False, True):
             link = SymBeeLink(
-                tx_power_dbm=-89.0, residual_cfo_hz=60e3,
+                tx_power_dbm=-85.0, residual_cfo_hz=-140e3,
                 track_residual_cfo=track,
             )
             total = 0
@@ -73,7 +78,8 @@ class TestTracking:
                 result = link.send_bits(rng.integers(0, 2, 48), rng)
                 total += result.n_bits - result.delivered_bits
             errors[track] = total
-        assert errors[True] <= errors[False]
+        assert errors[False] > 50      # untracked: ~every 1-bit flips
+        assert errors[True] < 5        # tracked: clean link
         assert errors[True] < 0.75 * errors[False] + 5
 
     def test_tracking_harmless_without_offset(self, rng):

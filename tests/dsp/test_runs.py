@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dsp.runs import longest_run, run_starts, sliding_count
+from repro.dsp.runs import (
+    longest_run,
+    run_starts,
+    sliding_count,
+    sliding_window_sum,
+)
 
 
 def naive_longest_run(mask):
@@ -86,3 +91,39 @@ class TestSlidingCount:
             sum(mask[i : i + window]) for i in range(len(mask) - window + 1)
         ]
         assert list(counts) == naive
+
+
+class TestSlidingWindowSum:
+    def test_basic_real(self):
+        out = sliding_window_sum([1.0, 2.0, 3.0, 4.0], 2)
+        assert np.allclose(out, [3.0, 5.0, 7.0])
+
+    def test_complex_input(self):
+        x = np.array([1 + 1j, 2 - 1j, -1 + 0.5j])
+        assert np.allclose(sliding_window_sum(x, 2), [3.0, 1 - 0.5j])
+
+    def test_window_longer_than_input(self):
+        assert sliding_window_sum([1.0], 5).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_sum([1.0], 0)
+
+    @given(
+        st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=150,
+        ),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_convolution(self, values, window):
+        # The cumulative-sum form replaced np.convolve windows; they must
+        # agree to float accumulation order everywhere they are used.
+        out = sliding_window_sum(values, window)
+        if len(values) < window:
+            assert out.size == 0
+            return
+        reference = np.convolve(values, np.ones(window), mode="valid")
+        assert np.allclose(out, reference, atol=1e-6 * max(1.0, window))

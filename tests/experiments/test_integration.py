@@ -40,7 +40,10 @@ class TestFig12:
 class TestFig13Fig14:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig13.run(seed=130, n_frames=8, distances=(5, 25))
+        # 24 frames/cell keeps the scenario ordering assertions out of
+        # small-sample noise (8 was marginal); the waveform cache and
+        # phasor decode path keep the larger run cheap.
+        return fig13.run(seed=130, n_frames=24, distances=(5, 25))
 
     def test_outdoor_is_best(self, result):
         for name in result.scenarios:

@@ -1,0 +1,62 @@
+"""Trial executor: REPRO_JOBS parsing, order preservation, pool parity."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import default_jobs, run_trials
+from repro.runtime.executor import resolve_jobs
+
+
+def _square(task):
+    return task * task
+
+
+def _draw(seed):
+    """Module-level so it pickles to pool workers."""
+    return float(np.random.default_rng(seed).standard_normal())
+
+
+class TestDefaultJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    @pytest.mark.parametrize("raw", ["3", " 3 ", "03"])
+    def test_integer_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        assert default_jobs() == 3
+
+    @pytest.mark.parametrize("raw", ["auto", "AUTO", "0"])
+    def test_auto_means_all_cores(self, monkeypatch, raw):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("raw", ["", "garbage", "-2"])
+    def test_bad_values_fall_back_to_serial(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        assert default_jobs() == 1
+
+    def test_resolve_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(None) == 8
+
+
+class TestRunTrials:
+    def test_serial_preserves_order(self):
+        assert run_trials(_square, range(10), jobs=1) == [i * i for i in range(10)]
+
+    def test_pool_preserves_order(self):
+        assert run_trials(_square, range(20), jobs=2) == [i * i for i in range(20)]
+
+    def test_pool_matches_serial_with_seeded_randomness(self):
+        seeds = [np.random.SeedSequence(s) for s in range(8)]
+        assert run_trials(_draw, seeds, jobs=1) == run_trials(_draw, seeds, jobs=3)
+
+    def test_single_task_runs_inline(self):
+        assert run_trials(_square, [7], jobs=4) == [49]
+
+    def test_empty_task_list(self):
+        assert run_trials(_square, [], jobs=4) == []

@@ -1,0 +1,60 @@
+"""Deterministic per-trial seeding (repro.runtime.seeding)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import as_seed_sequence, spawn_generators, spawn_seeds
+
+
+class TestAsSeedSequence:
+    def test_seed_sequence_passes_through(self):
+        ss = np.random.SeedSequence(7)
+        assert as_seed_sequence(ss) is ss
+
+    def test_int_seed_is_deterministic(self):
+        a = as_seed_sequence(123)
+        b = as_seed_sequence(123)
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_generator_input_is_deterministic(self):
+        a = as_seed_sequence(np.random.default_rng(5))
+        b = as_seed_sequence(np.random.default_rng(5))
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_generator_input_advances_source_state(self):
+        # Entropy is *drawn* from the generator, so two coercions of the
+        # same generator object yield independent roots — a second
+        # measure_link(link, rng) call must not repeat the first's trials.
+        rng = np.random.default_rng(5)
+        a = as_seed_sequence(rng)
+        b = as_seed_sequence(rng)
+        assert a.generate_state(4).tolist() != b.generate_state(4).tolist()
+
+    def test_none_gives_fresh_entropy(self):
+        a = as_seed_sequence(None)
+        b = as_seed_sequence(None)
+        assert a.generate_state(4).tolist() != b.generate_state(4).tolist()
+
+
+class TestSpawn:
+    def test_spawn_seeds_enumerates_in_trial_order(self):
+        children = spawn_seeds(99, 5)
+        assert len(children) == 5
+        again = spawn_seeds(99, 5)
+        for c1, c2 in zip(children, again):
+            assert c1.generate_state(2).tolist() == c2.generate_state(2).tolist()
+
+    def test_spawn_prefix_is_stable(self):
+        # Trial k's stream must not depend on how many trials follow it.
+        small = spawn_seeds(42, 3)
+        large = spawn_seeds(42, 10)
+        for c1, c2 in zip(small, large):
+            assert c1.generate_state(2).tolist() == c2.generate_state(2).tolist()
+
+    def test_children_are_independent(self):
+        g0, g1 = spawn_generators(7, 2)
+        assert g0.integers(0, 2**32) != g1.integers(0, 2**32)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

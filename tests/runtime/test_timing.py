@@ -1,0 +1,77 @@
+"""StageTimings accumulator (repro.runtime.timing)."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.timing import StageTimings
+
+
+class TestStageTimings:
+    def test_starts_empty(self):
+        t = StageTimings()
+        assert t.total_seconds == 0.0
+        assert t.as_dict() == {}
+        assert t.summary() == "no stages timed"
+
+    def test_add_accumulates(self):
+        t = StageTimings()
+        t.add("decode", 0.25)
+        t.add("decode", 0.75)
+        assert t.seconds["decode"] == pytest.approx(1.0)
+        assert t.calls["decode"] == 2
+
+    def test_stage_context_manager_times_the_block(self):
+        t = StageTimings()
+        with t.stage("modulate"):
+            pass
+        assert t.calls["modulate"] == 1
+        assert 0.0 <= t.seconds["modulate"] < 1.0
+
+    def test_merge_timings_object(self):
+        a, b = StageTimings(), StageTimings()
+        a.add("modulate", 1.0)
+        b.add("modulate", 2.0, calls=3)
+        b.add("decode", 0.5)
+        a.merge(b)
+        assert a.seconds["modulate"] == pytest.approx(3.0)
+        assert a.calls["modulate"] == 4
+        assert a.seconds["decode"] == pytest.approx(0.5)
+
+    def test_merge_as_dict_shard(self):
+        # Parallel workers report as_dict() shards across the pickle
+        # boundary; merging a shard must equal merging the object.
+        a, b = StageTimings(), StageTimings()
+        shard = StageTimings()
+        shard.add("channel", 2.5, calls=2)
+        a.merge(shard)
+        b.merge(shard.as_dict())
+        assert a.as_dict() == b.as_dict()
+
+    def test_as_dict_orders_link_stages_canonically(self):
+        t = StageTimings()
+        for name in ("decode", "aux", "modulate", "front_end", "channel"):
+            t.add(name, 0.1)
+        assert list(t.as_dict()) == [
+            "modulate", "channel", "front_end", "decode", "aux",
+        ]
+
+    def test_reset(self):
+        t = StageTimings()
+        t.add("decode", 1.0)
+        t.reset()
+        assert t.total_seconds == 0.0
+        assert t.as_dict() == {}
+
+    def test_pickle_round_trip(self):
+        t = StageTimings()
+        t.add("front_end", 0.125, calls=4)
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.as_dict() == t.as_dict()
+
+    def test_summary_mentions_every_stage(self):
+        t = StageTimings()
+        t.add("modulate", 0.3)
+        t.add("decode", 0.7)
+        s = t.summary()
+        assert "modulate" in s and "decode" in s and "%" in s

@@ -65,6 +65,22 @@ class TestAutocorrelationMetric:
         metric, phase = autocorrelation_metric(np.ones(10, complex), 16)
         assert metric.size == 0 and phase.size == 0
 
+    @pytest.mark.parametrize("window", [None, 8, 32])
+    def test_cumsum_windows_match_convolution(self, rng, window):
+        # The O(N) cumulative-sum windows replaced np.convolve; both
+        # forms of P[n] and R[n] must agree on arbitrary signals.
+        x = rng.standard_normal(600) + 1j * rng.standard_normal(600)
+        lag = 16
+        w = lag if window is None else window
+        metric, phase = autocorrelation_metric(x, lag, window=window)
+        prod = x[:-lag] * np.conj(x[lag:])
+        energy = np.abs(x[lag:]) ** 2
+        p_ref = np.convolve(prod, np.ones(w), mode="valid")
+        r_ref = np.convolve(energy, np.ones(w), mode="valid")
+        metric_ref = np.abs(p_ref) ** 2 / np.maximum(r_ref, 1e-30) ** 2
+        assert np.allclose(metric, metric_ref, atol=1e-9)
+        assert np.allclose(phase, np.angle(p_ref), atol=1e-9)
+
 
 class TestIdleListening:
     def test_lag_20msps(self):
