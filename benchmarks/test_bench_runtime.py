@@ -1,7 +1,11 @@
 """Perf smoke benchmark for the PR-1 runtime (parallel MC + waveform cache).
 
 Times a fixed 200-frame link sweep in two flavours and writes
-``BENCH_PR1.json`` at the repo root:
+``BENCH_PR1.json`` at the repo root; a third timed pass re-runs the
+random-payload workload with the PR-2 telemetry registry enabled and
+records the overhead comparison to ``BENCH_PR2.json`` (metrics-off must
+stay within noise of the PR-1 numbers, metrics-on within the <5% budget
+from ISSUE 2 — both asserted softly, with the JSON carrying the data):
 
 * **random-payload** — every trial draws fresh payload bits, so the
   frame-waveform cache never hits; this measures the honest per-trial
@@ -26,6 +30,7 @@ import numpy as np
 
 from repro.core.link import SymBeeLink
 from repro.experiments.common import measure_link
+from repro.obs import REGISTRY
 from repro.runtime import default_jobs
 from repro.runtime.timing import StageTimings
 from repro.zigbee.waveform_cache import FRAME_WAVEFORM_CACHE
@@ -91,11 +96,37 @@ def _timed(workload):
     }
 
 
+def _previous_bench(path):
+    """The committed PR-1 numbers, read before this run overwrites them."""
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+        return {
+            name: row["frames_per_sec"]
+            for name, row in report.get("workloads", {}).items()
+        }
+    except (OSError, ValueError, KeyError):
+        return {}
+
+
 def test_bench_runtime_sweep():
+    root = Path(__file__).resolve().parent.parent
+    pr1_recorded = _previous_bench(root / "BENCH_PR1.json")
+
     FRAME_WAVEFORM_CACHE.clear()
     random_payload = _timed(_run_random_payload)
     FRAME_WAVEFORM_CACHE.clear()
     fixed_payload = _timed(_run_fixed_payload)
+
+    # PR-2 telemetry overhead: the identical random-payload workload with
+    # the metrics registry live (counters + histograms firing per frame).
+    FRAME_WAVEFORM_CACHE.clear()
+    REGISTRY.enable()
+    try:
+        metrics_on = _timed(_run_random_payload)
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
 
     report = {
         "workloads": {
@@ -123,16 +154,40 @@ def test_bench_runtime_sweep():
         },
         "baseline_commit": "eff6581",
     }
-    out = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    out = root / "BENCH_PR1.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
+
+    off_fps = random_payload["frames_per_sec"]
+    on_fps = metrics_on["frames_per_sec"]
+    pr2 = {
+        "pr": 2,
+        "workload": "random_payload (200 frames, see BENCH_PR1.json)",
+        "metrics_off": random_payload,
+        "metrics_on": metrics_on,
+        "metrics_overhead_pct": round(100.0 * (off_fps / on_fps - 1.0), 2),
+        "pr1_recorded_frames_per_sec": pr1_recorded,
+        "metrics_off_vs_pr1_pct": round(
+            100.0 * (off_fps / pr1_recorded["random_payload"] - 1.0), 2
+        ) if pr1_recorded.get("random_payload") else None,
+        "jobs": default_jobs(),
+    }
+    (root / "BENCH_PR2.json").write_text(json.dumps(pr2, indent=2) + "\n")
+
     print()
     for name, row in report["workloads"].items():
         print(
             f"{name}: {row['frames_per_sec']:.2f} frames/sec "
             f"({row['speedup']:.2f}x vs pre-PR)"
         )
+    print(
+        f"telemetry overhead: {off_fps:.2f} -> {on_fps:.2f} frames/sec "
+        f"({pr2['metrics_overhead_pct']:+.1f}% when enabled)"
+    )
 
     # Soft sanity floor only — CI machines vary; the JSON has the data.
     assert random_payload["frames"] == fixed_payload["frames"] == 200
+    assert metrics_on["frames"] == 200
     assert random_payload["frames_per_sec"] > 1.0
     assert fixed_payload["frames_per_sec"] >= random_payload["frames_per_sec"] * 0.8
+    # Telemetry budget (soft): enabled metrics must not halve throughput.
+    assert on_fps >= off_fps * 0.5

@@ -3,12 +3,20 @@
     python -m repro list                  # available experiments
     python -m repro run fig13             # regenerate one table/figure
     python -m repro run all               # the whole battery
+    python -m repro run fig12 --metrics-out m.jsonl --trace   # + telemetry
+    python -m repro obs summary m.jsonl   # pretty-print a recorded run
     python -m repro survey                # scenario site survey
     python -m repro info                  # key constants and rates
+
+``-v``/``-q`` tune the ``repro.*`` logger (diagnostics go to stderr;
+experiment tables stay on stdout).  ``run all`` keeps going past a
+failing experiment and exits non-zero with a pass/fail summary.
 """
 
 import argparse
 import sys
+import time
+import traceback
 
 
 def _cmd_list(_args):
@@ -20,18 +28,108 @@ def _cmd_list(_args):
     return 0
 
 
+def _run_one(experiment):
+    """Run one experiment; returns its manifest status entry."""
+    t0 = time.perf_counter()
+    try:
+        experiment.main()
+        status, error = "ok", None
+    except Exception as exc:  # noqa: BLE001 — the summary reports it
+        traceback.print_exc(file=sys.stderr)
+        status = "error"
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "id": experiment.id,
+        "status": status,
+        "elapsed_seconds": round(time.perf_counter() - t0, 3),
+        "error": error,
+    }
+
+
 def _cmd_run(args):
-    from repro.experiments import EXPERIMENTS, get_experiment
+    from repro import obs
+    from repro.experiments import EXPERIMENTS
 
     if args.experiment == "all":
-        for experiment in EXPERIMENTS.values():
-            experiment.main()
-        return 0
-    try:
-        get_experiment(args.experiment).main()
-    except KeyError as error:
-        print(error.args[0], file=sys.stderr)
+        experiments = list(EXPERIMENTS.values())
+    elif args.experiment in EXPERIMENTS:
+        experiments = [EXPERIMENTS[args.experiment]]
+    else:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        print(
+            f"unknown experiment {args.experiment!r}; valid ids: {valid}",
+            file=sys.stderr,
+        )
         return 2
+
+    record = bool(args.metrics_out) or args.trace
+    if record:
+        obs.REGISTRY.reset()
+        if args.trace:
+            obs.TRACER.reset()
+        obs.enable(trace=args.trace)
+
+    statuses = [_run_one(experiment) for experiment in experiments]
+    failures = [s for s in statuses if s["status"] != "ok"]
+
+    if record:
+        obs.disable()
+        snapshot = obs.REGISTRY.snapshot()
+        spans = obs.TRACER.drain() if args.trace else []
+        if args.metrics_out:
+            manifest = obs.build_manifest(
+                experiments=statuses,
+                metrics=snapshot,
+                argv=sys.argv[1:],
+                n_spans=len(spans),
+            )
+            obs.write_run_jsonl(
+                args.metrics_out, manifest, snapshot=snapshot, spans=spans
+            )
+            print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+        elif args.trace:
+            from repro.experiments.common import print_table
+
+            totals = {}
+            for span in spans:
+                entry = totals.setdefault(
+                    span["name"], {"calls": 0, "seconds": 0.0}
+                )
+                entry["calls"] += 1
+                entry["seconds"] += span["duration_s"]
+            rows = [
+                (name, entry["calls"], f"{entry['seconds']:.3f}")
+                for name, entry in sorted(
+                    totals.items(), key=lambda kv: -kv[1]["seconds"]
+                )
+            ]
+            print_table(("span", "calls", "seconds"), rows, title="trace spans")
+
+    if len(statuses) > 1:
+        from repro.experiments.common import print_table
+
+        rows = [
+            (s["id"], s["status"], f"{s['elapsed_seconds']:.2f}")
+            for s in statuses
+        ]
+        print_table(
+            ("experiment", "status", "seconds"), rows, title="run summary"
+        )
+        print(
+            f"{len(statuses) - len(failures)}/{len(statuses)} experiments passed"
+        )
+    return 1 if failures else 0
+
+
+def _cmd_obs(args):
+    from repro.obs import read_run_jsonl, summarize_manifest
+
+    try:
+        manifest, metrics, spans = read_run_jsonl(args.path)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(summarize_manifest(manifest, metrics, spans))
     return 0
 
 
@@ -99,6 +197,14 @@ def build_parser():
         prog="python -m repro",
         description="SymBee reproduction command line",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="errors only on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list reproducible experiments").set_defaults(
@@ -106,7 +212,23 @@ def build_parser():
     )
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a run manifest + metric/span JSONL streams to PATH",
+    )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="record pipeline trace spans (into --metrics-out, or a "
+             "span-total table when no output path is given)",
+    )
     run.set_defaults(func=_cmd_run)
+    obs = sub.add_parser("obs", help="inspect recorded telemetry")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summary = obs_sub.add_parser(
+        "summary", help="pretty-print a run manifest JSONL"
+    )
+    summary.add_argument("path", help="JSONL file from 'run --metrics-out'")
+    summary.set_defaults(func=_cmd_obs)
     sub.add_parser("survey", help="scenario site survey").set_defaults(
         func=_cmd_survey
     )
@@ -118,6 +240,9 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -26,7 +26,21 @@ from repro.constants import (
 )
 from repro.core.phase import compensate_cfo
 from repro.dsp.runs import sliding_count
+from repro.obs.metrics import REGISTRY
 from repro.wifi.idle_listening import phase_differences
+
+#: Distance of each synchronized vote count from the majority threshold
+#: (0 = coin flip, window/2 = unanimous); 84 covers the 40 Msps window.
+_VOTE_MARGIN = REGISTRY.histogram(
+    "decoder.vote_margin", edges=(0, 2, 5, 10, 15, 21, 28, 42, 63, 84)
+)
+#: Same-sign run lengths in the decoded phase stream; the plateaus the
+#: decoder votes on are ~84 samples (168 at 40 Msps), a bit period 640.
+_PHASE_RUN_LENGTH = REGISTRY.histogram(
+    "decoder.phase_run_length",
+    edges=(1, 2, 4, 8, 16, 32, 64, 84, 168, 320, 640, 1280),
+)
+_BITS_DECODED = REGISTRY.counter("decoder.bits_decoded")
 
 
 @dataclass(frozen=True)
@@ -202,6 +216,13 @@ class SymBeeDecoder:
         counted in one cumulative-sum pass.
         """
         nonneg = np.asarray(nonneg, dtype=bool)
+        if REGISTRY.enabled and nonneg.size:
+            # Sign-run-length distribution of the stream being decoded —
+            # the paper's diagnostic for plateau quality (long ~window
+            # runs = clean plateaus, short runs = noise flips).
+            changes = np.flatnonzero(nonneg[1:] != nonneg[:-1]) + 1
+            boundaries = np.concatenate(([0], changes, [nonneg.size]))
+            _PHASE_RUN_LENGTH.observe_array(np.diff(boundaries))
         # Window starts are monotonic, so the in-bounds windows form a
         # prefix (matching the original early-exit loop).
         n_fit = 0
@@ -221,6 +242,11 @@ class SymBeeDecoder:
             np.cumsum(nonneg, dtype=np.int64, out=csum[1:])
             counts = csum[starts + self.window] - csum[starts]
         bits = counts >= self.tau_sync
+        if REGISTRY.enabled:
+            _BITS_DECODED.inc(n_fit)
+            _VOTE_MARGIN.observe_array(
+                np.abs(counts.astype(np.int64) - self.tau_sync)
+            )
         return SyncDecodeResult(
             bits=tuple(int(b) for b in bits),
             counts=tuple(int(c) for c in counts),

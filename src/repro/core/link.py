@@ -31,11 +31,26 @@ from repro.core.encoder import SymBeeEncoder
 from repro.core.phase import cfo_compensation_phase
 from repro.core.preamble import capture_preamble
 from repro.dsp.signal_ops import linear_to_db, signal_power, watts_to_dbm
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.runtime.timing import StageTimings
 from repro.wifi.front_end import WifiFrontEnd
 from repro.zigbee.channels import frequency_offset_hz
 from repro.zigbee.frame import PHY_OVERHEAD_BYTES
 from repro.zigbee.transmitter import ZigBeeTransmitter
+
+#: Link-level frame/bit accounting and the symbol-error taxonomy: a
+#: decoded 1 that was sent as 0 (``zero_as_one``), the converse, bits
+#: dropped because the decode window ran off the capture (``truncated``),
+#: and whole frames lost to a preamble miss.
+_M_FRAMES = REGISTRY.counter("link.frames")
+_M_FRAMES_LOST = REGISTRY.counter("link.frames.lost")
+_M_BITS_SENT = REGISTRY.counter("link.bits.sent")
+_M_BITS_DELIVERED = REGISTRY.counter("link.bits.delivered")
+_M_ERR_ZERO_AS_ONE = REGISTRY.counter("link.errors.zero_as_one")
+_M_ERR_ONE_AS_ZERO = REGISTRY.counter("link.errors.one_as_zero")
+_M_ERR_TRUNCATED = REGISTRY.counter("link.errors.truncated_bits")
+_M_SNR = REGISTRY.gauge("link.snr_db")
 
 
 @lru_cache(maxsize=4)
@@ -211,7 +226,7 @@ class SymBeeLink:
         it.  Decisions are identical to the angle-domain formulation.
         """
         timings = self.timings
-        with timings.stage("modulate"):
+        with timings.stage("modulate"), TRACER.span("link.modulate"):
             bits = tuple(int(b) for b in bits)
             payload = self.encoder.encode_message(bits)
             if mac_sequence is None:
@@ -222,7 +237,7 @@ class SymBeeLink:
                 )
             waveform = self.transmitter.transmit_frame(frame)
 
-        with timings.stage("channel"):
+        with timings.stage("channel"), TRACER.span("link.channel"):
             if self.link_channel is not None:
                 rx_waveform = self.link_channel.apply(waveform, rng)
             else:
@@ -234,7 +249,7 @@ class SymBeeLink:
                     rx_waveform, self.residual_cfo_hz, self.decoder.sample_rate
                 )
 
-        with timings.stage("front_end"):
+        with timings.stage("front_end"), TRACER.span("link.front_end"):
             rx_power = signal_power(rx_waveform)
             rx_power_dbm = float(watts_to_dbm(rx_power))
             snr_db = float(
@@ -253,7 +268,7 @@ class SymBeeLink:
                 contributions, total, rng=rng, include_noise=self.include_noise
             )
 
-        with timings.stage("decode"):
+        with timings.stage("decode"), TRACER.span("link.decode"):
             phasors = self.decoder.phasor_stream(capture)
             phases = None
 
@@ -295,6 +310,25 @@ class SymBeeLink:
                 # The exact angle-path stream (wrap convention included),
                 # since tests assert on stored phase values.
                 phases = self.decoder.phases(capture)
+
+        if REGISTRY.enabled:
+            _M_FRAMES.inc()
+            _M_BITS_SENT.inc(len(bits))
+            _M_SNR.set(snr_db)
+            if captured:
+                zero_as_one = one_as_zero = 0
+                for sent, got in zip(bits, decoded):
+                    if sent != got:
+                        if got:
+                            zero_as_one += 1
+                        else:
+                            one_as_zero += 1
+                _M_ERR_ZERO_AS_ONE.inc(zero_as_one)
+                _M_ERR_ONE_AS_ZERO.inc(one_as_zero)
+                _M_ERR_TRUNCATED.inc(max(0, len(bits) - len(decoded)))
+                _M_BITS_DELIVERED.inc(len(bits) - errors)
+            else:
+                _M_FRAMES_LOST.inc()
 
         return LinkResult(
             sent_bits=bits,

@@ -42,8 +42,22 @@ import numpy as np
 from repro.constants import SYMBEE_PREAMBLE_BITS, SYMBEE_STABLE_PHASE
 from repro.dsp.folding import folded_profile, phasor_folded_profile
 from repro.dsp.runs import sliding_count, sliding_window_sum
+from repro.obs.metrics import REGISTRY
 
 _STABLE = SYMBEE_STABLE_PHASE
+
+#: Capture outcome taxonomy: one hit counter plus one miss counter per
+#: rejection stage, so a BER regression separates "never reached the
+#: count floor" (low SNR) from "killed by the coherence gate" (ghosts).
+_HIT = REGISTRY.counter("decoder.preamble.hit")
+_MISS_SHORT = REGISTRY.counter("decoder.preamble.miss.short_stream")
+_MISS_COUNT = REGISTRY.counter("decoder.preamble.miss.count_floor")
+_MISS_COHERENCE = REGISTRY.counter("decoder.preamble.miss.coherence")
+_MISS_CONCENTRATION = REGISTRY.counter("decoder.preamble.miss.concentration")
+_COHERENCE = REGISTRY.histogram(
+    "decoder.preamble.coherence",
+    edges=(0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0),
+)
 
 
 @dataclass(frozen=True)
@@ -101,6 +115,7 @@ def capture_preamble(
             unit_phasors = np.asarray(unit_phasors)
         profile = phasor_folded_profile(unit_phasors, decoder.bit_period, folds)
         if profile.size < decoder.window:
+            _MISS_SHORT.inc()
             return None
         # angle(profile) < 0 without computing angles: atan2 is negative
         # iff imag < 0, or exactly -pi for (-0.0 imag, negative real).
@@ -114,6 +129,7 @@ def capture_preamble(
     elif mode == "sum":
         summed = folded_profile(phases, decoder.bit_period, folds)
         if summed.size < decoder.window:
+            _MISS_SHORT.inc()
             return None
         negative = summed < 0
         profile = None
@@ -124,6 +140,7 @@ def capture_preamble(
     floor = decoder.window - tau
     best_count = int(counts.max()) if counts.size else 0
     if best_count < floor:
+        _MISS_COUNT.inc()
         return None
     indices = np.flatnonzero(counts >= floor)
     coherence_at = {}
@@ -149,6 +166,7 @@ def capture_preamble(
         best_coherence = float(coherence_q.max())
         keep = coherence_q >= max(best_coherence - coherence_slack, coherence_min)
         if not keep.any():
+            _MISS_COHERENCE.inc()
             return None
         indices = indices[keep]
         coherence_q = coherence_q[keep]
@@ -170,11 +188,13 @@ def capture_preamble(
         best_concentration = float(concentration_q.max())
         keep = concentration_q >= max(best_concentration - coherence_slack, 0.6)
         if not keep.any():
+            _MISS_CONCENTRATION.inc()
             return None
         indices = indices[keep]
         coherence_at = dict(zip(indices.tolist(), coherence_q[keep].tolist()))
 
     if indices.size == 0:
+        _MISS_COUNT.inc()
         return None
     # Anchor inside the first qualifying cluster at its count peak: the
     # leading window qualifies while still sliding onto the plateau (up
@@ -193,6 +213,8 @@ def capture_preamble(
         mean_angle = float(np.angle(window_sum))
     else:
         mean_angle = -SYMBEE_STABLE_PHASE
+    _HIT.inc()
+    _COHERENCE.observe(coherence_at.get(n0, 1.0))
     return PreambleCapture(
         index=n0,
         data_start=n0 + folds * decoder.bit_period,

@@ -8,6 +8,7 @@ process-parallel execution, and every trial draws from its own
 ``SeedSequence`` child so results are bit-identical at any job count.
 """
 
+import logging
 import os
 from dataclasses import dataclass, field
 
@@ -16,8 +17,14 @@ import numpy as np
 from repro.core.analytics import raw_bit_rate_bps
 from repro.core.link import SymBeeLink
 from repro.dsp.signal_ops import watts_to_dbm
+from repro.obs.trace import TRACER
 from repro.runtime import as_seed_sequence, run_trials
 from repro.runtime.timing import StageTimings
+
+#: Diagnostics go through the ``repro.*`` logger namespace (wire it up
+#: with ``repro.obs.configure_logging`` or the CLI's ``-v``/``-q``);
+#: experiment *table output* stays on stdout via :func:`print_table`.
+log = logging.getLogger("repro.experiments")
 
 
 def mc_scale():
@@ -108,9 +115,14 @@ def measure_link(link, rng, n_frames=20, bits_per_frame=64, jobs=None,
         for k in range(n_frames)
     ]
     stats = LinkStats()
-    for result, shard in run_trials(_link_trial, tasks, jobs=jobs):
-        stats.add(result)
-        stats.timings.merge(shard)
+    with TRACER.span("measure_link", frames=n_frames, bits=bits_per_frame):
+        for result, shard in run_trials(_link_trial, tasks, jobs=jobs):
+            stats.add(result)
+            stats.timings.merge(shard)
+    log.debug(
+        "measure_link: %d frames, capture %.2f, BER %.4f (%s)",
+        stats.frames, stats.capture_rate, stats.ber, stats.timings.summary(),
+    )
     return stats
 
 
@@ -153,9 +165,15 @@ def scenario_sweep(rng, scenarios=SCENARIO_ORDER, distances=DISTANCES_M,
             link_channel=scenario.link(distance),
             interference=scenario.interference(),
         )
-        results[name][distance] = measure_link(
-            link, seed, n_frames=n_frames, bits_per_frame=bits_per_frame,
-            jobs=jobs,
+        with TRACER.span("scenario_sweep.cell", scenario=name, distance_m=distance):
+            cell = measure_link(
+                link, seed, n_frames=n_frames, bits_per_frame=bits_per_frame,
+                jobs=jobs,
+            )
+        results[name][distance] = cell
+        log.info(
+            "sweep %s @ %dm: %.2f kbps, BER %.4f",
+            name, distance, cell.throughput_bps / 1000, cell.ber,
         )
     return results
 

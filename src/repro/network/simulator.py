@@ -22,11 +22,27 @@ import numpy as np
 
 from repro.core.frame import frame_overhead_bits
 from repro.core.link import SymBeeLink
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.runtime import as_seed_sequence, run_trials
 from repro.runtime.timing import StageTimings
 from repro.zigbee.csma import CsmaCa
 from repro.zigbee.frame import ppdu_duration_seconds
 from repro.zigbee.mac import MAC_OVERHEAD_BYTES
+
+#: MAC-layer telemetry: per-attempt outcomes plus the queueing delay a
+#: frame accrues between its reading being generated and hitting the air.
+_M_ARRIVALS = REGISTRY.counter("mac.arrivals")
+_M_TRANSMISSIONS = REGISTRY.counter("mac.transmissions")
+_M_CSMA_FAILURES = REGISTRY.counter("mac.csma_failures")
+_M_COLLISIONS = REGISTRY.counter("mac.collisions")
+_M_RETRIES = REGISTRY.counter("mac.retries")
+_M_DELIVERED = REGISTRY.counter("mac.delivered")
+_M_PHY_LOST = REGISTRY.counter("mac.phy_lost")
+_M_QUEUE_DELAY = REGISTRY.histogram(
+    "mac.queue_delay_s",
+    edges=(0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0),
+)
 
 
 def _phy_trial(task):
@@ -270,6 +286,27 @@ class ConvergecastNetwork:
         through the parallel runtime, since without retries a frame's
         fate cannot influence the schedule.
         """
+        with TRACER.span("network.run", nodes=len(self.nodes)):
+            result = self._run_events()
+        if REGISTRY.enabled:
+            # Final accounting (not inline): collision revocation can
+            # retro-actively flip earlier records, so the settled record
+            # list is the only consistent source.
+            records = result.records
+            _M_ARRIVALS.inc(result.readings_generated)
+            _M_TRANSMISSIONS.inc(len(records))
+            _M_COLLISIONS.inc(sum(r.collided for r in records))
+            _M_DELIVERED.inc(len(result.delivered))
+            _M_PHY_LOST.inc(
+                sum(1 for r in records if not r.collided and not r.delivered)
+            )
+            _M_QUEUE_DELAY.observe_array(
+                [r.start_s - r.created_s for r in records]
+            )
+        return result
+
+    def _run_events(self):
+        """The MAC/PHY event loop behind :meth:`run`."""
         arrivals = self._generate_arrivals()
         result = NetworkResult(
             readings_generated=len(arrivals), sim_duration_s=self.sim_duration_s
@@ -293,7 +330,9 @@ class ConvergecastNetwork:
 
             outcome = self.csma.attempt(start_floor, hears, self.rng)
             if not outcome.success:
+                _M_CSMA_FAILURES.inc()
                 if attempt < self.max_retries:
+                    _M_RETRIES.inc()
                     pending.append(
                         (outcome.tx_time_s, node, sequence, attempt + 1)
                     )
@@ -341,6 +380,7 @@ class ConvergecastNetwork:
 
             result.records.append(record)
             if not record.delivered and attempt < self.max_retries:
+                _M_RETRIES.inc()
                 pending.append((record.end_s, node, sequence, attempt + 1))
                 pending.sort(key=lambda item: item[0])
 

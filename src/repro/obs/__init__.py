@@ -1,0 +1,84 @@
+"""Telemetry for the SymBee stack: metrics, trace spans, run manifests.
+
+Three cooperating pieces, all off by default and cheap when off:
+
+* :mod:`repro.obs.metrics` — the process-wide :data:`~repro.obs.metrics.REGISTRY`
+  of counters / gauges / fixed-bucket histograms.  Worker processes ship
+  snapshot shards back through ``repro.runtime.run_trials``, which merges
+  them into the parent so parallel runs report the same aggregate
+  telemetry as serial ones.
+* :mod:`repro.obs.trace` — the process-wide :data:`~repro.obs.trace.TRACER`
+  of nested, labeled spans over the modulate→channel→front_end→decode
+  pipeline (the structured successor of ``StageTimings``).
+* :mod:`repro.obs.manifest` — per-run manifest records (seed, config,
+  git rev, experiment status, metric snapshot) and JSONL export/import.
+
+CLI surface: ``python -m repro run <id> --metrics-out run.jsonl --trace``
+records a run, ``python -m repro obs summary run.jsonl`` pretty-prints
+it.  Schemas are documented in ``docs/observability.md``.
+"""
+
+import logging
+
+from repro.obs.manifest import (
+    build_manifest,
+    read_run_jsonl,
+    summarize_manifest,
+    write_run_jsonl,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "Tracer",
+    "build_manifest",
+    "configure_logging",
+    "enable",
+    "disable",
+    "read_run_jsonl",
+    "summarize_manifest",
+    "write_run_jsonl",
+]
+
+
+def enable(trace=False):
+    """Turn on metrics collection (and optionally span tracing)."""
+    REGISTRY.enable()
+    if trace:
+        TRACER.enable()
+
+
+def disable():
+    """Turn off metrics and tracing (recorded data is kept until reset)."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def configure_logging(verbosity=0, stream=None):
+    """Wire the ``repro.*`` logger namespace to a stderr handler.
+
+    ``verbosity`` maps CLI flags to levels: ``-q`` → -1 (errors only),
+    default 0 → warnings, ``-v`` → info, ``-vv`` → debug.  Diagnostics go
+    through :mod:`logging` so experiments' table output keeps stdout to
+    itself.  Re-invoking replaces the previous handler (idempotent under
+    repeated CLI entry, e.g. in tests).
+    """
+    level = {
+        -1: logging.ERROR,
+        0: logging.WARNING,
+        1: logging.INFO,
+    }.get(max(-1, min(int(verbosity), 2)), logging.DEBUG)
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,130 @@
+"""CLI surface of the telemetry layer: run flags, run-all, obs summary."""
+
+import json
+import logging
+
+import pytest
+
+import repro.experiments
+from repro.__main__ import main
+from repro.obs import read_run_jsonl
+
+
+class _StubExperiment:
+    """Registry-shaped stub whose main() is scripted."""
+
+    def __init__(self, eid, fn):
+        self.id = eid
+        self.title = eid
+        self._fn = fn
+
+    def main(self):
+        return self._fn()
+
+
+def _boom():
+    raise ValueError("synthetic failure")
+
+
+class TestRunAll:
+    def test_continues_past_failure_and_exits_nonzero(
+        self, monkeypatch, capsys
+    ):
+        ran = []
+        stubs = {
+            "first": _StubExperiment("first", lambda: ran.append("first")),
+            "bad": _StubExperiment("bad", _boom),
+            "last": _StubExperiment("last", lambda: ran.append("last")),
+        }
+        monkeypatch.setattr(repro.experiments, "EXPERIMENTS", stubs)
+        code = main(["run", "all"])
+        assert code == 1
+        assert ran == ["first", "last"]  # kept going past the failure
+        captured = capsys.readouterr()
+        assert "2/3 experiments passed" in captured.out
+        assert "bad" in captured.out and "error" in captured.out
+        assert "synthetic failure" in captured.err  # traceback surfaced
+
+    def test_all_green_exits_zero(self, monkeypatch, capsys):
+        stubs = {
+            "a": _StubExperiment("a", lambda: None),
+            "b": _StubExperiment("b", lambda: None),
+        }
+        monkeypatch.setattr(repro.experiments, "EXPERIMENTS", stubs)
+        assert main(["run", "all"]) == 0
+        assert "2/2 experiments passed" in capsys.readouterr().out
+
+    def test_single_failure_exits_nonzero(self, monkeypatch, capsys):
+        stubs = {"bad": _StubExperiment("bad", _boom)}
+        monkeypatch.setattr(repro.experiments, "EXPERIMENTS", stubs)
+        assert main(["run", "bad"]) == 1
+
+    def test_unknown_experiment_still_exits_two(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "valid ids" in capsys.readouterr().err
+
+
+class TestMetricsOut:
+    def test_manifest_and_metric_stream_written(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(["run", "table1", "--metrics-out", str(out)]) == 0
+        manifest, metrics, spans = read_run_jsonl(out)
+        assert manifest["experiments"][0]["id"] == "table1"
+        assert manifest["experiments"][0]["status"] == "ok"
+        assert manifest["schema_version"] == 1
+        assert "jobs_resolved" in manifest["config"]
+        assert spans == []  # no --trace
+        # table1 is PHY-free, so streams may be empty — but the file is
+        # valid line-JSON throughout.
+        with open(out) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_trace_adds_spans(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(
+            ["run", "fig07", "--metrics-out", str(out), "--trace"]
+        ) == 0
+        manifest, _, spans = read_run_jsonl(out)
+        assert manifest["n_spans"] == len(spans)
+
+    def test_failed_run_still_writes_manifest(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        stubs = {"bad": _StubExperiment("bad", _boom)}
+        monkeypatch.setattr(repro.experiments, "EXPERIMENTS", stubs)
+        out = tmp_path / "run.jsonl"
+        assert main(["run", "bad", "--metrics-out", str(out)]) == 1
+        manifest, _, _ = read_run_jsonl(out)
+        assert manifest["experiments"][0]["status"] == "error"
+        assert "synthetic failure" in manifest["experiments"][0]["error"]
+
+
+class TestObsSummary:
+    def test_summary_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["run", "table1", "--metrics-out", str(out)])
+        capsys.readouterr()
+        assert main(["obs", "summary", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "table1" in text
+        assert "repro" in text
+
+    def test_summary_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err
+
+
+class TestVerbosity:
+    @pytest.mark.parametrize(
+        "argv,level",
+        [
+            (["list"], logging.WARNING),
+            (["-v", "list"], logging.INFO),
+            (["-vv", "list"], logging.DEBUG),
+            (["-q", "list"], logging.ERROR),
+        ],
+    )
+    def test_flags_set_repro_logger_level(self, argv, level, capsys):
+        assert main(argv) == 0
+        assert logging.getLogger("repro").level == level

@@ -69,6 +69,53 @@ class TestStageTimings:
         clone = pickle.loads(pickle.dumps(t))
         assert clone.as_dict() == t.as_dict()
 
+    def test_merge_returns_self_for_chaining(self):
+        a, b = StageTimings(), StageTimings()
+        b.add("decode", 0.5)
+        assert a.merge(b) is a
+        assert a.merge(b.as_dict()) is a
+
+    def test_merge_empty_shard_is_identity(self):
+        t = StageTimings()
+        t.add("modulate", 1.0, calls=2)
+        before = t.as_dict()
+        t.merge(StageTimings())
+        t.merge({})
+        assert t.as_dict() == before
+
+    def test_merge_pickled_object_shard(self):
+        # The worker-to-parent path: a StageTimings that crossed the
+        # pickle boundary must merge exactly like the live object.
+        shard = StageTimings()
+        shard.add("channel", 0.75, calls=3)
+        shard.add("decode", 0.25)
+        live, pickled = StageTimings(), StageTimings()
+        live.merge(shard)
+        pickled.merge(pickle.loads(pickle.dumps(shard)))
+        assert live.as_dict() == pickled.as_dict()
+
+    def test_merge_pickled_dict_shard(self):
+        # as_dict() shards are what run_trials actually ships; they must
+        # survive pickling and repeated merging with additive semantics.
+        shard = StageTimings()
+        shard.add("front_end", 0.1, calls=1)
+        wire = pickle.loads(pickle.dumps(shard.as_dict()))
+        t = StageTimings()
+        t.merge(wire).merge(wire)
+        assert t.seconds["front_end"] == pytest.approx(0.2)
+        assert t.calls["front_end"] == 2
+
+    def test_merge_dict_shard_accumulates_across_stages(self):
+        t = StageTimings()
+        t.add("modulate", 1.0)
+        t.merge({
+            "modulate": {"seconds": 0.5, "calls": 2},
+            "aux": {"seconds": 0.25, "calls": 1},
+        })
+        assert t.seconds["modulate"] == pytest.approx(1.5)
+        assert t.calls["modulate"] == 3
+        assert t.seconds["aux"] == pytest.approx(0.25)
+
     def test_summary_mentions_every_stage(self):
         t = StageTimings()
         t.add("modulate", 0.3)
