@@ -1,0 +1,128 @@
+"""Perf smoke benchmark for the PR-3 streaming engine.
+
+Times one seeded multi-sender capture decoded three ways and writes
+``BENCH_PR3.json`` at the repo root:
+
+* **batch** — :func:`repro.stream.batch_decode_stream`, the whole
+  capture in one call (the reference the invariance tests compare
+  against);
+* **streaming** — the same capture through
+  :class:`repro.stream.StreamEngine` in 16384-sample blocks, the
+  ``repro listen`` default;
+* **streaming_small** — 4096-sample blocks, the worst realistic case
+  (more tail-state stitching and per-block scan overhead).
+
+The ISSUE-3 acceptance target is streaming within 1.5x of batch at the
+default block size.  Assertions are deliberately soft (the suite must
+not fail on a slow or loaded machine) — the JSON artifact carries the
+real numbers; the hard guarantee (bit-identical frames) is asserted
+here too, since it costs nothing once the decodes have run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.stream import StreamEngine, batch_decode_stream
+
+DURATION_S = 0.05
+SEED = 20260806
+BLOCK_SIZE = 16384
+SMALL_BLOCK_SIZE = 4096
+TARGET_RATIO = 1.5
+
+
+def _capture():
+    senders = [
+        StreamSender(0, zigbee_channel=11, reading_interval_s=0.008),
+        StreamSender(1, zigbee_channel=13, reading_interval_s=0.008),
+        StreamSender(2, zigbee_channel=14, reading_interval_s=0.008),
+    ]
+    traffic = StreamTraffic(senders, duration_s=DURATION_S)
+    samples, truth = traffic.capture(np.random.default_rng(SEED))
+    return traffic, samples, truth
+
+
+def _timed(decode):
+    decode()  # warm-up: waveform caches, page faults, branch history
+    t0 = time.perf_counter()
+    frames = decode()
+    elapsed = time.perf_counter() - t0
+    return frames, elapsed
+
+
+def _row(n_samples, n_frames, elapsed):
+    return {
+        "frames": n_frames,
+        "elapsed_seconds": round(elapsed, 4),
+        "effective_msps": round(n_samples / elapsed / 1e6, 3),
+        "x_realtime": round(n_samples / elapsed / 20e6, 4),
+    }
+
+
+def test_bench_stream_throughput():
+    root = Path(__file__).resolve().parent.parent
+    traffic, samples, truth = _capture()
+
+    batch_frames, batch_s = _timed(
+        lambda: batch_decode_stream(samples, demux=True)
+    )
+    stream_frames, stream_s = _timed(
+        lambda: StreamEngine(demux=True).run(
+            traffic.blocks(samples, BLOCK_SIZE)
+        )
+    )
+    small_frames, small_s = _timed(
+        lambda: StreamEngine(demux=True).run(
+            traffic.blocks(samples, SMALL_BLOCK_SIZE)
+        )
+    )
+
+    # The invariance guarantee, re-checked on the benchmark workload.
+    ref = [f.decode_fields() for f in batch_frames]
+    assert [f.decode_fields() for f in stream_frames] == ref
+    assert [f.decode_fields() for f in small_frames] == ref
+
+    ratio = stream_s / batch_s
+    report = {
+        "pr": 3,
+        "workload": {
+            "senders": 3,
+            "duration_s": DURATION_S,
+            "samples": int(samples.size),
+            "scheduled_frames": len(truth),
+            "decoded_frames": len(batch_frames),
+            "crc_ok_frames": sum(1 for f in batch_frames if f.crc_ok),
+            "seed": SEED,
+            "mode": "demux (4 sessions)",
+        },
+        "batch": _row(samples.size, len(batch_frames), batch_s),
+        "streaming": {
+            **_row(samples.size, len(stream_frames), stream_s),
+            "block_size": BLOCK_SIZE,
+            "ratio_vs_batch": round(ratio, 3),
+            "target_ratio": TARGET_RATIO,
+        },
+        "streaming_small_blocks": {
+            **_row(samples.size, len(small_frames), small_s),
+            "block_size": SMALL_BLOCK_SIZE,
+            "ratio_vs_batch": round(small_s / batch_s, 3),
+        },
+    }
+    (root / "BENCH_PR3.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"batch: {report['batch']['effective_msps']:.2f} Msps, "
+        f"streaming@{BLOCK_SIZE}: "
+        f"{report['streaming']['effective_msps']:.2f} Msps "
+        f"({ratio:.2f}x batch time, target <= {TARGET_RATIO}x)"
+    )
+
+    # Soft sanity floor only — CI machines vary; the JSON has the data.
+    assert len(truth) > 0 and len(batch_frames) >= len(truth)
+    assert report["streaming"]["effective_msps"] > 0.05
+    assert ratio < TARGET_RATIO * 2.0

@@ -5,6 +5,7 @@
     python -m repro run all               # the whole battery
     python -m repro run fig12 --metrics-out m.jsonl --trace   # + telemetry
     python -m repro obs summary m.jsonl   # pretty-print a recorded run
+    python -m repro listen --senders 3    # streaming multi-sender decode
     python -m repro survey                # scenario site survey
     python -m repro info                  # key constants and rates
 
@@ -126,11 +127,160 @@ def _cmd_obs(args):
 
     try:
         manifest, metrics, spans = read_run_jsonl(args.path)
-    except (OSError, ValueError) as error:
-        print(str(error), file=sys.stderr)
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"error: {args.path}: {reason}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     print(summarize_manifest(manifest, metrics, spans))
     return 0
+
+
+def _cmd_listen(args):
+    import numpy as np
+
+    from repro import obs
+    from repro.channel.scenarios import SCENARIOS
+    from repro.experiments.common import print_table
+    from repro.network.traffic import StreamSender, StreamTraffic
+    from repro.stream import RingBufferSource, StreamEngine
+    from repro.zigbee.channels import overlapping_zigbee_channels
+
+    if args.senders < 1:
+        print("error: --senders must be >= 1", file=sys.stderr)
+        return 2
+    scenario = None
+    if args.scenario is not None:
+        if args.scenario not in SCENARIOS:
+            valid = ", ".join(sorted(SCENARIOS))
+            print(
+                f"error: unknown scenario {args.scenario!r}; "
+                f"valid names: {valid}",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = SCENARIOS[args.scenario]
+
+    demux = not args.wideband
+    channels = (
+        overlapping_zigbee_channels(args.wifi_channel) if demux else [13]
+    )
+    senders = [
+        StreamSender(
+            sender_id=i,
+            zigbee_channel=channels[i % len(channels)],
+            reading_interval_s=args.interval,
+            data_bits=args.data_bits,
+            distance_m=args.distance,
+        )
+        for i in range(args.senders)
+    ]
+    traffic = StreamTraffic(
+        senders,
+        wifi_channel=args.wifi_channel,
+        duration_s=args.duration,
+        scenario=scenario,
+    )
+
+    record = bool(args.metrics_out) or args.trace
+    if record:
+        obs.REGISTRY.reset()
+        if args.trace:
+            obs.TRACER.reset()
+        obs.enable(trace=args.trace)
+
+    rng = np.random.default_rng(args.seed)
+    samples, truth = traffic.capture(rng)
+    engine = StreamEngine(wifi_channel=args.wifi_channel, demux=demux)
+    ring = RingBufferSource(capacity_blocks=args.ring_capacity)
+
+    t0 = time.perf_counter()
+    frames = []
+    # Lock-step producer/consumer: push each block through the ring so
+    # its accounting is exercised, decode as soon as it is queued.
+    for block in traffic.blocks(samples, args.block_size):
+        ring.push(block)
+        queued = ring.pop()
+        if queued is not None:
+            frames.extend(engine.process_block(queued))
+    ring.close()
+    for block in ring:
+        frames.extend(engine.process_block(block))
+    frames.extend(engine.finish())
+    elapsed = time.perf_counter() - t0
+
+    # Score decoded frames against the schedule: each scheduled frame is
+    # delivered when some CRC-valid decode on its channel carried its
+    # exact bits (consumed greedily in stream order).
+    remaining = {}
+    for t in truth:
+        remaining.setdefault((t.zigbee_channel, t.frame_bits), []).append(t)
+    delivered = 0
+    rows = []
+    for frame in frames:
+        matched = False
+        if frame.crc_ok:
+            queue = remaining.get((frame.zigbee_channel, frame.bits))
+            if queue:
+                queue.pop(0)
+                delivered += 1
+                matched = True
+        rows.append(
+            (
+                frame.zigbee_channel,
+                frame.preamble_index,
+                frame.n_bits,
+                "ok" if frame.crc_ok else "fail",
+                f"{frame.band_power:.2e}",
+                "yes" if matched else "-",
+            )
+        )
+    print_table(
+        ("channel", "preamble", "bits", "crc", "power", "delivered"),
+        rows,
+        title=f"decoded frames ({'demux' if demux else 'wideband'})",
+    )
+
+    msps = samples.size / elapsed / 1e6 if elapsed > 0 else float("inf")
+    realtime = msps * 1e6 / traffic.sample_rate
+    ring_stats = ring.stats()
+    print(
+        f"{delivered}/{len(truth)} scheduled frames delivered, "
+        f"{engine.frames_suppressed} leak copies suppressed, "
+        f"{ring_stats['overruns']} ring overruns"
+    )
+    print(
+        f"processed {samples.size} samples in {elapsed:.3f} s "
+        f"({msps:.1f} Msps, {realtime:.2f}x realtime)"
+    )
+
+    if record:
+        obs.disable()
+        snapshot = obs.REGISTRY.snapshot()
+        spans = obs.TRACER.drain() if args.trace else []
+        if args.metrics_out:
+            manifest = obs.build_manifest(
+                experiments=[
+                    {
+                        "id": "listen",
+                        "status": "ok",
+                        "elapsed_seconds": round(elapsed, 3),
+                        "error": None,
+                    }
+                ],
+                seed=args.seed,
+                metrics=snapshot,
+                argv=sys.argv[1:],
+                n_spans=len(spans),
+            )
+            obs.write_run_jsonl(
+                args.metrics_out, manifest, snapshot=snapshot, spans=spans
+            )
+            print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+
+    return 0 if delivered == len(truth) else 1
 
 
 def _cmd_survey(_args):
@@ -222,6 +372,65 @@ def build_parser():
              "span-total table when no output path is given)",
     )
     run.set_defaults(func=_cmd_run)
+    listen = sub.add_parser(
+        "listen",
+        help="stream a synthesized multi-sender capture through the "
+             "block-by-block receive engine",
+    )
+    listen.add_argument(
+        "--senders", type=int, default=3,
+        help="number of SymBee senders (default 3)",
+    )
+    listen.add_argument(
+        "--duration", type=float, default=0.05, metavar="SECONDS",
+        help="capture length in seconds (default 0.05)",
+    )
+    listen.add_argument(
+        "--block-size", type=int, default=16384, metavar="SAMPLES",
+        help="receive block size in samples (default 16384)",
+    )
+    listen.add_argument(
+        "--wifi-channel", type=int, default=1,
+        help="WiFi receive channel (default 1)",
+    )
+    listen.add_argument(
+        "--seed", type=int, default=7,
+        help="traffic/noise RNG seed (default 7)",
+    )
+    listen.add_argument(
+        "--interval", type=float, default=0.01, metavar="SECONDS",
+        help="mean per-sender reading interval (default 0.01)",
+    )
+    listen.add_argument(
+        "--data-bits", type=int, default=16,
+        help="payload bits per reading (default 16)",
+    )
+    listen.add_argument(
+        "--distance", type=float, default=5.0, metavar="METERS",
+        help="sender-receiver distance when a scenario is set (default 5)",
+    )
+    listen.add_argument(
+        "--scenario", default=None,
+        help="propagation scenario name (default: ideal channel)",
+    )
+    listen.add_argument(
+        "--ring-capacity", type=int, default=64, metavar="BLOCKS",
+        help="ring buffer capacity in blocks (default 64)",
+    )
+    listen.add_argument(
+        "--wideband", action="store_true",
+        help="single wideband session on ZigBee channel 13 instead of "
+             "per-channel demux",
+    )
+    listen.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a run manifest + metric/span JSONL streams to PATH",
+    )
+    listen.add_argument(
+        "--trace", action="store_true",
+        help="record per-block trace spans (into --metrics-out)",
+    )
+    listen.set_defaults(func=_cmd_listen)
     obs = sub.add_parser("obs", help="inspect recorded telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summary = obs_sub.add_parser(

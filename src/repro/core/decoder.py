@@ -107,6 +107,42 @@ class SymBeeDecoder:
             return dp
         return compensate_cfo(dp, self.cfo_correction)
 
+    @staticmethod
+    def raw_products(samples, lag):
+        """Uncompensated autocorrelation products ``x[n] * conj(x[n+lag])``.
+
+        The channel-agnostic half of :meth:`phasor_stream` — everything
+        before the CFO rotation.  Each product depends only on the two
+        samples it pairs, so computing the stream block-by-block (with a
+        ``lag``-sample tail carried across blocks, as
+        ``repro.stream.StreamingFrontEnd`` does) is bit-identical to one
+        whole-capture call.  Returns ``complex128`` of length
+        ``max(0, len(samples) - lag)``.
+        """
+        samples = np.asarray(samples)
+        if lag <= 0:
+            raise ValueError("lag must be positive")
+        if samples.size <= lag:
+            return np.empty(0, dtype=np.complex128)
+        # conjugate() allocates the output; finish in place on it.
+        prod = np.conjugate(samples[lag:]).astype(np.complex128, copy=False)
+        prod *= samples[:-lag]
+        return prod
+
+    @property
+    def rotation(self):
+        """Unit phasor ``exp(j*cfo_correction)``, or ``None`` when disabled.
+
+        Multiplying raw products by this constant is exactly the
+        compensation step of :meth:`phasor_stream`; streaming sessions
+        apply it per block (``block * rotation`` matches the batch
+        in-place ``stream *= rotation`` elementwise).
+        """
+        c = self.cfo_correction
+        if c is None or c == 0.0:
+            return None
+        return complex(np.cos(c), np.sin(c))
+
     def phasor_stream(self, samples):
         """CFO-compensated autocorrelation products (the phasor-domain dp).
 
@@ -119,15 +155,10 @@ class SymBeeDecoder:
         folding are ``out / |out|`` instead of ``exp(j*angle(out))``,
         skipping two transcendental passes per capture.
         """
-        samples = np.asarray(samples)
-        if self.lag <= 0 or samples.size <= self.lag:
-            return np.empty(0, dtype=np.complex128)
-        # conjugate() allocates the output; finish in place on it.
-        prod = np.conjugate(samples[self.lag :]).astype(np.complex128, copy=False)
-        prod *= samples[: -self.lag]
-        c = self.cfo_correction
-        if c is not None and c != 0.0:
-            prod *= complex(np.cos(c), np.sin(c))
+        prod = self.raw_products(samples, self.lag)
+        r = self.rotation
+        if r is not None:
+            prod *= r
         return prod
 
     def unit_phasors(self, phasor_stream):

@@ -13,10 +13,18 @@ from repro.network.simulator import (
     NodeConfig,
     TransmissionRecord,
 )
+from repro.network.traffic import (
+    ScheduledTransmission,
+    StreamSender,
+    StreamTraffic,
+)
 
 __all__ = [
     "ConvergecastNetwork",
     "NetworkResult",
     "NodeConfig",
+    "ScheduledTransmission",
+    "StreamSender",
+    "StreamTraffic",
     "TransmissionRecord",
 ]

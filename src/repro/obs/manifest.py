@@ -119,15 +119,28 @@ def write_run_jsonl(path, manifest, snapshot=None, spans=None):
 def read_run_jsonl(path):
     """Parse a run JSONL file into ``(manifest, metric_records, spans)``.
 
-    Raises ``ValueError`` when the file holds no manifest record.
+    Raises ``ValueError`` with a one-line, path-prefixed message when the
+    file is empty, malformed, or holds no manifest record (``OSError``
+    propagates for missing/unreadable paths) — the CLI prints these
+    verbatim, so they must make sense on their own.
     """
     manifest, metrics, spans = None, [], []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSONL ({error.msg})"
+                ) from error
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object, got "
+                    f"{type(record).__name__}"
+                )
             kind = record.get("type")
             if kind == "manifest" and manifest is None:
                 manifest = record
@@ -136,7 +149,10 @@ def read_run_jsonl(path):
             elif kind == "span":
                 spans.append(record)
     if manifest is None:
-        raise ValueError(f"{path}: no manifest record found")
+        raise ValueError(
+            f"{path}: no manifest record found — is this a "
+            "'run --metrics-out' JSONL file?"
+        )
     return manifest, metrics, spans
 
 

@@ -1,0 +1,303 @@
+"""The continuously-listening receive engine: front ends + sessions.
+
+One :class:`StreamEngine` owns, per decoded ZigBee channel, a front end
+(products) and a :class:`repro.stream.session.StreamSession` (frames),
+and feeds every incoming sample block through all of them.  Two modes:
+
+* **wideband** (default): one session decoding the whole 20 MHz capture
+  directly, with the Appendix-B CFO rotation for its reference ZigBee
+  channel — exactly the batch :class:`repro.core.SymBeeLink` receive
+  path, restructured to run block-by-block.  Bit-identical to batch for
+  any block size.
+* **demux**: one :class:`repro.stream.frontend.ChannelizerFrontEnd` +
+  session per overlapping ZigBee channel, so concurrent senders on
+  different channels decode from the same stream.  Wideband sessions
+  cannot do this: every overlapping pair's CFO correction wraps to the
+  same +4pi/5 (the Appendix-B constant), so in the product domain the
+  channels are rotationally indistinguishable — separation must happen
+  in the sample domain, before the autocorrelation.
+
+Use :func:`batch_decode_stream` as the one-shot reference: it runs the
+identical engine over the whole capture as a single block, which is what
+the block-size-invariance guarantee is measured against.
+"""
+
+import numpy as np
+
+from repro.constants import WIFI_SAMPLE_RATE_20MHZ
+from repro.core.decoder import SymBeeDecoder
+from repro.core.phase import cfo_compensation_phase
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.stream.frontend import (
+    ChannelizerFrontEnd,
+    StreamingFrontEnd,
+    exact_cmul,
+)
+from repro.stream.ring import RingBufferSource
+from repro.stream.session import StreamSession
+from repro.zigbee.channels import (
+    frequency_offset_hz,
+    overlapping_zigbee_channels,
+)
+
+_BLOCKS = REGISTRY.counter("stream.engine.blocks")
+_SAMPLES = REGISTRY.counter("stream.engine.samples_in")
+_FRAMES = REGISTRY.counter("stream.engine.frames")
+_SUPPRESSED = REGISTRY.counter("stream.engine.leak_suppressed")
+
+#: Default demux channelizer: short enough to keep most of the 84-sample
+#: plateau (an ``ntaps``-tap FIR costs ``ntaps - 1`` plateau samples),
+#: wide enough to pass the 2 MHz ZigBee main lobe.
+DEMUX_NTAPS = 21
+DEMUX_CUTOFF_HZ = 1.4e6
+
+
+class _ChannelPath:
+    """One decoded channel: its front end, rotation and session."""
+
+    __slots__ = ("zigbee_channel", "front_end", "rotation", "session")
+
+    def __init__(self, zigbee_channel, front_end, rotation, session):
+        self.zigbee_channel = zigbee_channel
+        self.front_end = front_end
+        self.rotation = rotation
+        self.session = session
+
+
+class StreamEngine:
+    """Block-by-block SymBee receiver over an unbounded sample stream."""
+
+    def __init__(
+        self,
+        wifi_channel=1,
+        sample_rate=WIFI_SAMPLE_RATE_20MHZ,
+        zigbee_channels=None,
+        demux=False,
+        scan_stride_bits=8,
+        capture_tau=None,
+        tau=None,
+        tau_sync=None,
+        ntaps=DEMUX_NTAPS,
+        cutoff_hz=DEMUX_CUTOFF_HZ,
+    ):
+        self.wifi_channel = wifi_channel
+        self.sample_rate = float(sample_rate)
+        self.demux = bool(demux)
+        lag = int(round(self.sample_rate * 0.8e-6))
+        if zigbee_channels is None:
+            channels = (
+                overlapping_zigbee_channels(wifi_channel) if demux else [13]
+            )
+        else:
+            channels = list(zigbee_channels)
+        if not channels:
+            raise ValueError("no ZigBee channels to decode")
+        if not demux and len(channels) > 1:
+            raise ValueError(
+                "wideband mode decodes one reference channel: every "
+                "overlapping pair's CFO correction wraps to the same "
+                "+4pi/5 (Appendix B), so wideband sessions cannot tell "
+                "channels apart — use demux=True"
+            )
+        self._paths = []
+        for channel in channels:
+            offset = frequency_offset_hz(channel, wifi_channel)
+            if demux:
+                front_end = ChannelizerFrontEnd(
+                    offset,
+                    self.sample_rate,
+                    lag,
+                    ntaps=ntaps,
+                    cutoff_hz=cutoff_hz,
+                )
+                # The channelized stream sits at its own baseband: the
+                # plateaus are at +-4pi/5 already, no rotation needed.
+                decoder = SymBeeDecoder(
+                    sample_rate=self.sample_rate,
+                    tau=tau,
+                    tau_sync=tau_sync,
+                    cfo_correction=None,
+                )
+                rotation = None
+                # The FIR eats ntaps - 1 plateau samples, so the capture
+                # count floor must drop by as much (plus edge margin).
+                session_tau = capture_tau
+                if session_tau is None:
+                    session_tau = min(ntaps - 1 + 8, decoder.window // 2 - 1)
+            else:
+                front_end = StreamingFrontEnd(lag)
+                decoder = SymBeeDecoder(
+                    sample_rate=self.sample_rate,
+                    tau=tau,
+                    tau_sync=tau_sync,
+                    cfo_correction=cfo_compensation_phase(
+                        offset, lag, self.sample_rate
+                    ),
+                )
+                rotation = decoder.rotation
+                session_tau = capture_tau
+            self._paths.append(
+                _ChannelPath(
+                    zigbee_channel=channel,
+                    front_end=front_end,
+                    rotation=rotation,
+                    session=StreamSession(
+                        decoder,
+                        zigbee_channel=channel,
+                        scan_stride_bits=scan_stride_bits,
+                        capture_tau=session_tau,
+                    ),
+                )
+            )
+        self.blocks_in = 0
+        self.samples_in = 0
+        self.frames_out = 0
+        self.frames_suppressed = 0
+        #: Emitted frames awaiting cross-session leak arbitration.
+        self._pending = []
+
+    @property
+    def zigbee_channels(self):
+        return [path.zigbee_channel for path in self._paths]
+
+    @property
+    def sessions(self):
+        return [path.session for path in self._paths]
+
+    def process_block(self, block):
+        """Feed one sample block to every channel; return decoded frames."""
+        block = np.asarray(block, dtype=np.complex128)
+        with TRACER.span("stream.block", samples=int(block.size)):
+            for path in self._paths:
+                fe_block = path.front_end.process(block)
+                products = fe_block.products
+                if path.rotation is not None and products.size:
+                    products = exact_cmul(products, path.rotation)
+                self._pending.extend(path.session.push_products(products))
+            frames = self._release(final=False)
+        self.blocks_in += 1
+        self.samples_in += int(block.size)
+        self.frames_out += len(frames)
+        _BLOCKS.inc()
+        _SAMPLES.inc(int(block.size))
+        if frames:
+            _FRAMES.inc(len(frames))
+        return frames
+
+    def finish(self):
+        """Flush every session at end-of-stream; return the tail frames."""
+        with TRACER.span("stream.finish"):
+            for path in self._paths:
+                self._pending.extend(path.session.finish())
+            frames = self._release(final=True)
+        self.frames_out += len(frames)
+        if frames:
+            _FRAMES.inc(len(frames))
+        return frames
+
+    def _release(self, final):
+        """Cross-session leak arbitration over the pending frame pool.
+
+        Adjacent sub-bands alias onto the same product phase (their 5 MHz
+        spacing is a multiple of ``fs / lag``), so a strong sender also
+        decodes — attenuated but otherwise faithful — on neighbouring
+        idle sessions.  Among time-overlapping pending frames carrying
+        *identical bits* on different sessions, only the strongest
+        ``band_power`` copy survives (ties break toward the lower channel
+        number, keeping the decision deterministic).
+
+        A frame is held until every session's :attr:`StreamSession.horizon`
+        has passed its end — after that no session can emit anything
+        overlapping it, so the decision is final and independent of block
+        boundaries.  Released frames come out sorted by stream position.
+        """
+        if not self._pending:
+            return []
+        if final:
+            ready, held = list(self._pending), []
+        else:
+            horizon = min(path.session.horizon for path in self._paths)
+            ready, held = [], []
+            for frame in self._pending:
+                (ready if frame.end_index < horizon else held).append(frame)
+            # Arbitration is decided per overlap-connected group: demote
+            # any ready frame overlapping a held one (and cascade), so a
+            # group is only ever judged with all its members present.
+            demoted = True
+            while demoted and ready:
+                demoted = False
+                for frame in list(ready):
+                    if any(
+                        frame.preamble_index < other.end_index
+                        and other.preamble_index < frame.end_index
+                        for other in held
+                    ):
+                        ready.remove(frame)
+                        held.append(frame)
+                        demoted = True
+        if not ready:
+            return []
+        released = []
+        for frame in ready:
+            key = (frame.band_power, -frame.zigbee_channel)
+            beaten = any(
+                other.zigbee_channel != frame.zigbee_channel
+                and other.bits == frame.bits
+                and other.preamble_index < frame.end_index
+                and frame.preamble_index < other.end_index
+                and (other.band_power, -other.zigbee_channel) > key
+                for other in ready
+            )
+            if beaten:
+                self.frames_suppressed += 1
+                _SUPPRESSED.inc()
+            else:
+                released.append(frame)
+        self._pending = held
+        released.sort(key=lambda f: (f.preamble_index, f.zigbee_channel))
+        return released
+
+    def run(self, blocks):
+        """Drain a block source (any iterable, e.g. a ring) and finish.
+
+        A :class:`repro.stream.ring.RingBufferSource` iterates its queued
+        blocks; for live producer/consumer interleaving, call
+        :meth:`process_block` per popped block instead.
+        """
+        frames = []
+        for block in blocks:
+            frames.extend(self.process_block(block))
+        frames.extend(self.finish())
+        return frames
+
+    def stats(self):
+        return {
+            "mode": "demux" if self.demux else "wideband",
+            "blocks_in": self.blocks_in,
+            "samples_in": self.samples_in,
+            "frames_out": self.frames_out,
+            "sessions": [path.session.stats() for path in self._paths],
+        }
+
+
+def batch_decode_stream(samples, **engine_kwargs):
+    """Decode a whole capture in one shot — the batch reference.
+
+    Builds a :class:`StreamEngine` with the given configuration, feeds the
+    entire capture as a single block and flushes.  Streaming the same
+    capture through the same configuration in *any* block sizes yields a
+    bit-identical frame list; the invariance tests and the throughput
+    benchmark both compare against this function.
+    """
+    engine = StreamEngine(**engine_kwargs)
+    frames = engine.process_block(np.asarray(samples, dtype=np.complex128))
+    frames.extend(engine.finish())
+    return frames
+
+
+__all__ = [
+    "StreamEngine",
+    "RingBufferSource",
+    "batch_decode_stream",
+]

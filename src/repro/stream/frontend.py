@@ -1,0 +1,325 @@
+"""Block-wise idle-listening front ends with exact tail state.
+
+The batch pipeline hands a whole capture to
+:meth:`repro.core.decoder.SymBeeDecoder.phasor_stream` at once; a
+continuously listening receiver only ever sees fixed-size sample blocks.
+Both autocorrelation quantities the receiver derives are *local*:
+
+* the product ``p[n] = x[n] * conj(x[n + lag])`` pairs exactly two
+  samples, so carrying the last ``lag`` samples across block boundaries
+  reproduces the batch stream **bit-identically** — every element is the
+  same two-operand multiply regardless of where blocks were cut;
+* the Schmidl-Cox metric at ``n`` windows ``lag + window`` samples, so a
+  ``lag + window - 1`` overlap lets each block's metric entries be
+  recomputed exactly over their own windows.  (The batch implementation
+  uses one whole-capture cumulative sum, so metric values can differ
+  from the streaming ones by float accumulation order — the same
+  caveat :func:`repro.dsp.runs.sliding_window_sum` already documents.
+  The decode path never consumes the metric, only the products.)
+
+:class:`ChannelizerFrontEnd` adds per-ZigBee-channel isolation for the
+multi-sender demux: because every overlapping WiFi/ZigBee pair shares
+the *same* Appendix-B correction (+4pi/5), concurrent senders on
+different ZigBee channels land on identical product-domain rotations and
+cannot be separated after the autocorrelation.  Separation has to happen
+before it: mix the 5 MHz-spaced sub-band to DC, low-pass away the other
+sub-bands, then form products on the filtered stream (which then needs
+no CFO correction at all — the channel sits at its transmit baseband).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.wifi.idle_listening import autocorrelation_metric
+
+
+def exact_cmul(a, b):
+    """Complex multiply decomposed into single-rounding real ops.
+
+    numpy's native complex-multiply kernel contracts its internal
+    multiply-adds into FMAs whose peel/remainder lanes depend on buffer
+    alignment and length, so ``a * b`` can differ by one ulp between two
+    calls over the *same* element — enough to break bit-exact block-size
+    invariance.  Real multiply/add/subtract ufuncs are each a single
+    correctly-rounded IEEE operation in every lane, so building the
+    product from them is deterministic for any blocking, alignment or
+    SIMD path.  (The result is the textbook four-multiply form, which an
+    FMA kernel does *not* reproduce — consistency, not agreement with
+    ``np.multiply``, is the point.)
+    """
+    ar, ai = a.real, a.imag
+    br, bi = b.real, b.imag
+    out = np.empty(np.broadcast_shapes(np.shape(a), np.shape(b)), dtype=np.complex128)
+    out.real = ar * br - ai * bi
+    out.imag = ar * bi + ai * br
+    return out
+
+
+def lagged_products(x, lag):
+    """Deterministic ``x[n] * conj(x[n + lag])`` (see :func:`exact_cmul`).
+
+    Semantically :meth:`repro.core.decoder.SymBeeDecoder.raw_products`,
+    but decomposed into real ufunc ops so every element matches scalar
+    complex arithmetic bit-for-bit regardless of array length or
+    alignment — the property the streaming front ends' invariance
+    guarantee rests on.
+    """
+    lag = int(lag)
+    if lag <= 0:
+        raise ValueError("lag must be positive")
+    n = x.size - lag
+    if n <= 0:
+        return np.empty(0, dtype=np.complex128)
+    a, b = x[:n], x[lag:]
+    out = np.empty(n, dtype=np.complex128)
+    # conj folded in: (ar + j*ai) * (br - j*bi)
+    out.real = a.real * b.real + a.imag * b.imag
+    out.imag = a.imag * b.real - a.real * b.imag
+    return out
+
+
+@dataclass(frozen=True)
+class FrontEndBlock:
+    """Newly computed front-end outputs for one input block.
+
+    ``start`` is the global stream index (product coordinates: product
+    ``k`` pairs samples ``k`` and ``k + lag``) of ``products[0]``.
+    ``metric``/``corr_phase`` are ``None`` unless the front end was built
+    with ``compute_metric=True``; their global coordinates coincide with
+    the product coordinates (metric ``k`` windows samples ``k ..
+    k + lag + window``).
+    """
+
+    products: np.ndarray
+    start: int
+    metric: "np.ndarray | None" = None
+    corr_phase: "np.ndarray | None" = None
+
+
+class StreamingFrontEnd:
+    """Chunked autocorrelation products (and optionally the S&C metric).
+
+    Feed arbitrary-size blocks to :meth:`process`; the concatenation of
+    the returned ``products`` arrays is bit-identical to
+    ``lagged_products(whole_stream, lag)`` for any blocking, including
+    blocks shorter than the lag — every element is scalar-exact complex
+    arithmetic (see :func:`exact_cmul`), unlike numpy's FMA-contracted
+    native multiply whose rounding drifts with length and alignment.
+    """
+
+    def __init__(self, lag, window=None, compute_metric=False):
+        self.lag = int(lag)
+        if self.lag <= 0:
+            raise ValueError("lag must be positive")
+        self.window = self.lag if window is None else int(window)
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        self.compute_metric = bool(compute_metric)
+        #: Samples carried across block boundaries.
+        self.overlap = (
+            self.lag + self.window - 1 if self.compute_metric else self.lag
+        )
+        self._tail = np.empty(0, dtype=np.complex128)
+        #: Total samples consumed so far.
+        self.samples_in = 0
+        self._products_out = 0
+        self._metric_out = 0
+
+    def reset(self):
+        self._tail = np.empty(0, dtype=np.complex128)
+        self.samples_in = 0
+        self._products_out = 0
+        self._metric_out = 0
+
+    def process(self, block):
+        """Consume one sample block, return the newly computable outputs."""
+        block = np.asarray(block, dtype=np.complex128)
+        x = np.concatenate((self._tail, block)) if self._tail.size else block
+        self.samples_in += block.size
+        start = self._products_out
+
+        total_products = max(0, self.samples_in - self.lag)
+        new_products = total_products - self._products_out
+        if new_products > 0:
+            prod = lagged_products(x, self.lag)
+            products = prod[prod.size - new_products :]
+            self._products_out = total_products
+        else:
+            products = np.empty(0, dtype=np.complex128)
+
+        metric = corr_phase = None
+        if self.compute_metric:
+            total_metric = max(0, self.samples_in - self.lag - self.window + 1)
+            new_metric = total_metric - self._metric_out
+            if new_metric > 0:
+                m, a = autocorrelation_metric(x, self.lag, self.window)
+                metric = m[m.size - new_metric :]
+                corr_phase = a[a.size - new_metric :]
+                self._metric_out = total_metric
+            else:
+                metric = np.empty(0, dtype=np.float64)
+                corr_phase = np.empty(0, dtype=np.float64)
+
+        if x.size >= self.overlap:
+            self._tail = x[x.size - self.overlap :].copy()
+        else:
+            self._tail = x if x is not block else x.copy()
+        return FrontEndBlock(
+            products=products, start=start, metric=metric, corr_phase=corr_phase
+        )
+
+
+def design_lowpass(ntaps, cutoff_hz, sample_rate):
+    """Hamming-windowed-sinc low-pass FIR taps with unit DC gain.
+
+    Deliberately short filters: the SymBee plateau is only ``window + lag``
+    samples long and shrinks by ``ntaps - 1`` samples after filtering, so
+    channel isolation trades stopband attenuation against plateau loss
+    (see ``docs/streaming.md``).
+    """
+    ntaps = int(ntaps)
+    if ntaps < 3 or ntaps % 2 == 0:
+        raise ValueError("ntaps must be an odd integer >= 3")
+    if not 0.0 < cutoff_hz < sample_rate / 2.0:
+        raise ValueError("cutoff must be in (0, sample_rate/2)")
+    m = np.arange(ntaps, dtype=np.float64) - (ntaps - 1) / 2.0
+    taps = np.sinc(2.0 * cutoff_hz / sample_rate * m)
+    taps *= np.hamming(ntaps)
+    return taps / taps.sum()
+
+
+def _mixer_period(frequency_offset_hz, sample_rate, max_period=1 << 16):
+    """Exact integer period of ``exp(-j*2*pi*f*n/fs)``, or ``None``.
+
+    Exists whenever ``f / fs`` is rational with a small denominator —
+    true for every ZigBee/WiFi channel offset (multiples of 1 MHz).
+    """
+    from math import gcd
+
+    f = abs(frequency_offset_hz)
+    if f == 0.0:
+        return 1
+    if f != int(f) or sample_rate != int(sample_rate):
+        return None
+    period = int(sample_rate) // gcd(int(f), int(sample_rate))
+    return period if period <= max_period else None
+
+
+class ChannelizerFrontEnd:
+    """One demux sub-band: mix to DC, low-pass, then products.
+
+    Three implementation points keep the chain block-size invariant to
+    the last bit (plain "same formula per element" is not enough —
+    numpy's SIMD transcendentals, FMA-contracted complex multiplies and
+    ``np.convolve`` all change their exact float behaviour with array
+    length or alignment):
+
+    * the mixer phasor is exactly periodic whenever ``f / fs`` is
+      rational (every Appendix-B channel offset is a multiple of 1 MHz,
+      so the period is at most 20 samples at 20 Msps); one period is
+      precomputed at construction and indexed by *global* sample
+      position, so each stream index always multiplies by the exact same
+      table value.  Irrational offsets fall back to a per-block
+      ``np.exp`` whose SIMD-vs-scalar remainder lanes can differ by one
+      ulp at block boundaries — invariance then holds only to ~1 ulp.
+    * the FIR accumulates tap-by-tap over shifted slices on the
+      real/imag planes (fixed tap order) rather than via
+      ``np.convolve``, whose internal summation order changes with input
+      length — every filtered sample is the same fixed-order
+      accumulation for any blocking;
+    * every complex multiply goes through :func:`exact_cmul` /
+      :func:`lagged_products`, sidestepping numpy's FMA-contracted
+      complex kernel whose rounding depends on buffer alignment.
+
+    Product coordinates are those of the *filtered* stream: the chain
+    delays the signal by the filter's ``(ntaps - 1) / 2`` group delay and
+    drops ``ntaps - 1`` priming samples, which shifts indices relative to
+    the wideband stream.  The preamble search recovers timing itself, so
+    nothing downstream depends on the offset.
+    """
+
+    def __init__(
+        self,
+        frequency_offset_hz,
+        sample_rate,
+        lag,
+        ntaps=21,
+        cutoff_hz=1.4e6,
+    ):
+        self.frequency_offset_hz = float(frequency_offset_hz)
+        self.sample_rate = float(sample_rate)
+        self.taps = design_lowpass(ntaps, cutoff_hz, sample_rate)
+        self.ntaps = int(ntaps)
+        self._fir_tail = np.empty(0, dtype=np.complex128)
+        self._index = 0  # global input-sample index of the next block
+        self._inner = StreamingFrontEnd(lag)
+        period = _mixer_period(self.frequency_offset_hz, self.sample_rate)
+        if period is not None:
+            t = np.arange(period, dtype=np.float64)
+            self._mixer_table = np.exp(
+                -1j
+                * (2.0 * np.pi * self.frequency_offset_hz * t / self.sample_rate)
+            )
+        else:
+            self._mixer_table = None
+
+    @property
+    def samples_in(self):
+        return self._index
+
+    def reset(self):
+        self._fir_tail = np.empty(0, dtype=np.complex128)
+        self._index = 0
+        self._inner.reset()
+
+    def process(self, block):
+        """Consume one wideband block, return this sub-band's new products."""
+        block = np.asarray(block, dtype=np.complex128)
+        if self._mixer_table is not None:
+            idx = np.arange(self._index, self._index + block.size, dtype=np.int64)
+            idx %= self._mixer_table.size
+            mixed = exact_cmul(block, self._mixer_table[idx])
+        else:
+            t = np.arange(
+                self._index, self._index + block.size, dtype=np.float64
+            )
+            mixed = exact_cmul(
+                block,
+                np.exp(
+                    -1j
+                    * (
+                        2.0
+                        * np.pi
+                        * self.frequency_offset_hz
+                        * t
+                        / self.sample_rate
+                    )
+                ),
+            )
+        self._index += block.size
+        z = (
+            np.concatenate((self._fir_tail, mixed))
+            if self._fir_tail.size
+            else mixed
+        )
+        if z.size < self.ntaps:
+            self._fir_tail = z if z is not mixed else z.copy()
+            return self._inner.process(np.empty(0, dtype=np.complex128))
+        m = z.size - self.ntaps + 1
+        # convolve(z, taps, "valid")[k] = sum_j taps[j] * z[k + ntaps-1-j],
+        # accumulated tap-by-tap on the real/imag planes so each output
+        # element is the same fixed sequence of single-rounding real
+        # multiply-adds no matter how the stream was blocked.
+        acc_r = np.zeros(m, dtype=np.float64)
+        acc_i = np.zeros(m, dtype=np.float64)
+        for j in range(self.ntaps):
+            shift = self.ntaps - 1 - j
+            s = z[shift : shift + m]
+            acc_r += self.taps[j] * s.real
+            acc_i += self.taps[j] * s.imag
+        filtered = np.empty(m, dtype=np.complex128)
+        filtered.real = acc_r
+        filtered.imag = acc_i
+        self._fir_tail = z[z.size - (self.ntaps - 1) :].copy()
+        return self._inner.process(filtered)

@@ -1,0 +1,426 @@
+"""Per-channel streaming decode session (preamble -> header -> body).
+
+A :class:`StreamSession` consumes the CFO-compensated phasor-product
+stream of one ZigBee channel in arbitrary-size pieces and emits complete
+SymBee frames.  Every decision is a function of the *absolute* product
+stream only, never of where pushes were cut, which is what makes
+streaming decode bit-identical to a single whole-capture call:
+
+* **Search** runs over deterministic scan chunks.  The session waits
+  until the chunk ``[o, o + stride + span + window)`` is fully buffered
+  (``o`` the scan origin, ``stride = scan_stride_bits * bit_period``,
+  ``span = (folds - 1) * bit_period``), folds it with
+  :func:`repro.core.preamble.capture_preamble`, and accepts a capture
+  only in the first ``stride`` products — later hits are re-found by the
+  next chunk, whose origin is ``o + stride`` regardless of blocking.
+  (The capture gates are slice-relative, so scanning *fixed* chunks is
+  what keeps them deterministic.)
+* **Header** decodes the 24 header bits as soon as their last vote
+  window is buffered, validates version / type / length, and on a bogus
+  header resumes searching at ``n0 + bit_period`` (one bit past the
+  false preamble).
+* **Body** waits for the full frame (header + data + CRC vote windows),
+  majority-votes every bit in one pass, parses, emits, and resumes
+  searching right after the frame.
+
+``finish()`` flushes at end-of-stream: the final partial chunk is
+scanned once (accepting any position — no later chunk will see it), and
+a capture whose frame ran off the stream is counted as partial.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SYMBEE_PREAMBLE_BITS
+from repro.core.frame import (
+    FRAME_TYPE_ACK,
+    MAX_DATA_BITS,
+    VERSION,
+    frame_overhead_bits,
+    parse_frame_bits,
+)
+from repro.core.preamble import capture_preamble
+from repro.obs.metrics import REGISTRY
+
+_HEADER_BITS = 24
+
+
+def _unit_phasors(decoder, chunk):
+    """Deterministic unit phasors for the preamble search.
+
+    Same semantics as :meth:`repro.core.decoder.SymBeeDecoder.unit_phasors`
+    (zero-amplitude products take the post-compensation zero-phase
+    phasor), but built from single-rounding real ufunc ops — magnitude
+    as ``sqrt(re*re + im*im)``, then one real divide per plane — so the
+    result is bit-identical no matter how the chunk's buffer happens to
+    be aligned.  numpy's reciprocal-then-complex-multiply path in the
+    core decoder is faster but rounds differently depending on SIMD
+    lane, which would leak block-size dependence into the capture
+    coherence.
+    """
+    mag = np.sqrt(chunk.real * chunk.real + chunk.imag * chunk.imag)
+    zero = mag == 0.0
+    has_zero = bool(zero.any())
+    if has_zero:
+        mag[zero] = 1.0
+    unit = np.empty(chunk.size, dtype=np.complex128)
+    unit.real = chunk.real / mag
+    unit.imag = chunk.imag / mag
+    if has_zero:
+        fill = decoder.rotation
+        unit[zero] = 1.0 + 0.0j if fill is None else fill
+    return unit
+
+_FRAMES = REGISTRY.counter("stream.session.frames")
+_CRC_FAILED = REGISTRY.counter("stream.session.crc_failed")
+_HEADER_REJECTS = REGISTRY.counter("stream.session.header_rejects")
+_PARTIAL_EOF = REGISTRY.counter("stream.session.partial_at_eof")
+#: Products buffered past a frame's last vote window when it was emitted
+#: — the decode latency floor in samples (one bit period = 640).
+_LATENCY = REGISTRY.histogram(
+    "stream.session.frame_latency",
+    edges=(640, 2560, 5120, 10240, 20480, 40960, 81920, 163840),
+)
+
+
+class _StreamBuffer:
+    """Growable product buffer addressed by absolute stream index."""
+
+    def __init__(self, dtype=np.complex128):
+        self._data = np.empty(8192, dtype=dtype)
+        self._start = 0   # physical index of absolute index ``base``
+        self._len = 0
+        self.base = 0     # absolute stream index of the oldest kept product
+
+    @property
+    def end(self):
+        """One past the newest buffered absolute index."""
+        return self.base + self._len
+
+    def append(self, arr):
+        n = arr.size
+        if n == 0:
+            return
+        if self._start + self._len + n > self._data.size:
+            if self._start:
+                # Compact trimmed space before growing.
+                self._data[: self._len] = self._data[
+                    self._start : self._start + self._len
+                ]
+                self._start = 0
+            if self._len + n > self._data.size:
+                cap = self._data.size
+                while cap < self._len + n:
+                    cap *= 2
+                grown = np.empty(cap, dtype=self._data.dtype)
+                grown[: self._len] = self._data[: self._len]
+                self._data = grown
+        lo = self._start + self._len
+        self._data[lo : lo + n] = arr
+        self._len += n
+
+    def trim(self, lo):
+        """Forget everything below absolute index ``lo`` (O(1))."""
+        drop = min(max(lo - self.base, 0), self._len)
+        self._start += drop
+        self.base += drop
+        self._len -= drop
+
+    def view(self, lo, hi):
+        """Zero-copy view of absolute range ``[lo, hi)`` (must be buffered)."""
+        if lo < self.base or hi > self.end:
+            raise IndexError(
+                f"range [{lo}, {hi}) outside buffered [{self.base}, {self.end})"
+            )
+        a = self._start + (lo - self.base)
+        return self._data[a : a + (hi - lo)]
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One frame decoded out of the stream.
+
+    Indices are absolute product-stream coordinates of the session's
+    channel (for demux sessions: the filtered sub-band stream, offset
+    from the wideband stream by the channelizer's group delay).
+    ``latency_products`` is how many products past the frame's last vote
+    window the session had buffered when it emitted — the block-induced
+    decode latency.
+    """
+
+    zigbee_channel: "int | None"
+    preamble_index: int
+    data_start: int
+    end_index: int
+    n_bits: int
+    bits: tuple
+    frame: "object | None"    # SymBeeFrame, or None if unparseable
+    crc_ok: bool
+    coherence: float
+    #: Mean product magnitude (~signal power) over the frame span.  A
+    #: frame leaked from a neighbouring sub-band (5 MHz is an exact
+    #: multiple of ``fs / lag``, so neighbours alias onto the *same*
+    #: product phase and only amplitude distinguishes them) shows up with
+    #: the channelizer's stopband attenuation here; the engine's
+    #: arbitration keeps the strongest copy.
+    band_power: float
+    latency_products: int
+
+    def decode_fields(self):
+        """Every field determined by stream *content* alone.
+
+        ``latency_products`` is excluded: it measures how long after the
+        frame's last vote window the emit happened, which legitimately
+        depends on block size.  The invariance guarantee — and the tests
+        asserting it — covers exactly this tuple.
+        """
+        return (
+            self.zigbee_channel,
+            self.preamble_index,
+            self.data_start,
+            self.end_index,
+            self.n_bits,
+            self.bits,
+            self.frame,
+            self.crc_ok,
+            self.coherence,
+            self.band_power,
+        )
+
+
+class StreamSession:
+    """Stateful preamble/header/body decoder for one channel's stream."""
+
+    def __init__(
+        self,
+        decoder,
+        zigbee_channel=None,
+        scan_stride_bits=8,
+        capture_tau=None,
+        folds=SYMBEE_PREAMBLE_BITS,
+        coherence_slack=0.2,
+        coherence_min=0.5,
+    ):
+        self.decoder = decoder
+        self.zigbee_channel = zigbee_channel
+        self.capture_tau = capture_tau
+        self.folds = int(folds)
+        self.coherence_slack = float(coherence_slack)
+        self.coherence_min = float(coherence_min)
+        if scan_stride_bits < 1:
+            raise ValueError("scan_stride_bits must be >= 1")
+        #: Products the search origin advances per missed chunk.
+        self.stride = int(scan_stride_bits) * decoder.bit_period
+        #: Extra products a fold window reaches past its start.
+        self.span = (self.folds - 1) * decoder.bit_period
+        #: Full deterministic scan-chunk length.
+        self.scan_len = self.stride + self.span + decoder.window
+        self._buf = _StreamBuffer()
+        self._state = "search"
+        self._origin = 0          # absolute origin of the next scan chunk
+        self._n0 = 0              # absolute preamble index of current capture
+        self._data_start = 0
+        self._coherence = 0.0
+        self._total_bits = 0
+        self.frames_emitted = 0
+        self.crc_failures = 0
+        self.header_rejects = 0
+        self.partial_at_eof = 0
+        self.products_in = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def push_products(self, products):
+        """Consume one chunk of compensated products; return decoded frames."""
+        products = np.asarray(products, dtype=np.complex128)
+        self._buf.append(products)
+        self.products_in += products.size
+        return self._drain(final=False)
+
+    def finish(self):
+        """Flush at end-of-stream; return any frames decodable from the tail."""
+        frames = self._drain(final=True)
+        if self._state != "search":
+            # A capture whose frame never fully arrived.
+            self.partial_at_eof += 1
+            _PARTIAL_EOF.inc()
+            self._state = "search"
+        self._origin = self._buf.end
+        self._buf.trim(self._origin)
+        return frames
+
+    @property
+    def horizon(self):
+        """Lower bound on any future frame's ``preamble_index``.
+
+        While searching, no capture can land before the scan origin;
+        while a capture is in flight, a header reject could restart the
+        search at ``n0 + bit_period``, so ``n0`` bounds from below.  The
+        engine's cross-session arbitration releases a frame only once
+        every session's horizon has passed it.
+        """
+        return self._origin if self._state == "search" else self._n0
+
+    def stats(self):
+        return {
+            "zigbee_channel": self.zigbee_channel,
+            "products_in": self.products_in,
+            "frames_emitted": self.frames_emitted,
+            "crc_failures": self.crc_failures,
+            "header_rejects": self.header_rejects,
+            "partial_at_eof": self.partial_at_eof,
+        }
+
+    # -- state machine ------------------------------------------------------
+
+    def _drain(self, final):
+        emitted = []
+        while self._advance(final, emitted):
+            pass
+        # In search the restart points at or after the origin; during
+        # header/body a reject can resume at n0 + bit_period, so keep n0.
+        keep = self._origin if self._state == "search" else self._n0
+        self._buf.trim(keep)
+        return emitted
+
+    def _advance(self, final, emitted):
+        """One state transition; False when blocked on more input."""
+        if self._state == "search":
+            return self._search(final)
+        if self._state == "header":
+            return self._header(final)
+        return self._body(final, emitted)
+
+    def _search(self, final):
+        avail = self._buf.end - self._origin
+        if avail >= self.scan_len:
+            chunk_len, accept_limit = self.scan_len, self.stride
+        elif final and avail >= self.span + self.decoder.window:
+            # Last partial chunk: nothing after it will re-scan, so
+            # accept a capture anywhere in it.
+            chunk_len, accept_limit = avail, avail
+        else:
+            return False
+        chunk = self._buf.view(self._origin, self._origin + chunk_len)
+        capture = capture_preamble(
+            None,
+            self.decoder,
+            folds=self.folds,
+            tau=self.capture_tau,
+            coherence_slack=self.coherence_slack,
+            coherence_min=self.coherence_min,
+            unit_phasors=_unit_phasors(self.decoder, chunk),
+        )
+        if capture is not None and capture.index < accept_limit:
+            self._n0 = self._origin + capture.index
+            self._data_start = self._origin + capture.data_start
+            self._coherence = capture.coherence
+            self._state = "header"
+            return True
+        if chunk_len < self.scan_len:
+            # Final partial chunk exhausted.
+            self._origin = self._buf.end
+            return False
+        self._origin += self.stride
+        return True
+
+    def _header(self, final):
+        end = self._bits_end(_HEADER_BITS)
+        if self._buf.end < end:
+            return False
+        bits = self._decode_bits(self._data_start, _HEADER_BITS)
+        if len(bits) < _HEADER_BITS:
+            return False if not final else self._reject_header()
+        version = self._bits_to_int(bits[0:4])
+        frame_type = self._bits_to_int(bits[4:8])
+        length = self._bits_to_int(bits[8:16])
+        if (
+            version != VERSION
+            or frame_type > FRAME_TYPE_ACK
+            or length > MAX_DATA_BITS
+        ):
+            return self._reject_header()
+        self._total_bits = frame_overhead_bits() + length
+        self._state = "body"
+        return True
+
+    def _body(self, final, emitted):
+        end = self._bits_end(self._total_bits)
+        if self._buf.end < end:
+            return False
+        bits = self._decode_bits(self._data_start, self._total_bits)
+        frame = parse_frame_bits(bits)
+        crc_ok = bool(frame is not None and frame.crc_ok)
+        self.frames_emitted += 1
+        _FRAMES.inc()
+        if not crc_ok:
+            self.crc_failures += 1
+            _CRC_FAILED.inc()
+        latency = self._buf.end - end
+        _LATENCY.observe(latency)
+        span = self._buf.view(self._n0, end)
+        # Magnitude via single-rounding real ops (not np.abs's hypot
+        # kernel) so the value cannot drift with buffer alignment —
+        # the engine's leak arbitration compares it across sessions.
+        band_power = float(
+            np.mean(np.sqrt(span.real * span.real + span.imag * span.imag))
+        )
+        emitted.append(
+            StreamFrame(
+                zigbee_channel=self.zigbee_channel,
+                preamble_index=self._n0,
+                data_start=self._data_start,
+                end_index=end,
+                n_bits=self._total_bits,
+                bits=bits,
+                frame=frame,
+                crc_ok=crc_ok,
+                coherence=self._coherence,
+                band_power=band_power,
+                latency_products=latency,
+            )
+        )
+        self._state = "search"
+        if crc_ok:
+            self._origin = (
+                self._data_start + self._total_bits * self.decoder.bit_period
+            )
+        else:
+            # A failed CRC means the capture was bogus (a neighbour's
+            # leaked preamble, a collision) — resume one bit past it
+            # instead of skipping the whole claimed span, so a real
+            # frame shadowed inside that span is still found.
+            self._origin = self._n0 + self.decoder.bit_period
+        return True
+
+    # -- helpers ------------------------------------------------------------
+
+    def _bits_end(self, n_bits):
+        """Absolute index one past the last vote window of ``n_bits``."""
+        return (
+            self._data_start
+            + (n_bits - 1) * self.decoder.bit_period
+            + self.decoder.window
+        )
+
+    def _decode_bits(self, start, n_bits):
+        segment = self._buf.view(start, self._bits_end(n_bits))
+        result = self.decoder.decode_synchronized_mask(
+            segment.imag >= 0.0, 0, n_bits
+        )
+        return result.bits
+
+    def _reject_header(self):
+        self.header_rejects += 1
+        _HEADER_REJECTS.inc()
+        self._state = "search"
+        self._origin = self._n0 + self.decoder.bit_period
+        return True
+
+    @staticmethod
+    def _bits_to_int(bits):
+        value = 0
+        for bit in bits:
+            value = (value << 1) | int(bit)
+        return value

@@ -30,13 +30,21 @@ def phase_differences(samples, lag):
     With this sign convention a baseband tone ``exp(-j*2*pi*f*t)`` (the
     continuous sinusoid inside the (6,7) pair after downconversion) yields
     ``dp = +2*pi*f*lag*Ts``; see the paper's Section IV-B derivation.
+
+    Contract: the result is always a ``float64`` array of length
+    ``max(0, len(samples) - lag)``.  Inputs shorter than ``lag + 1``
+    samples — which the streaming tail path produces for every block
+    until the front end has buffered one full lag — yield an empty array,
+    never an error; a non-positive ``lag`` raises ``ValueError``.
     """
     samples = np.asarray(samples)
     if lag <= 0:
         raise ValueError("lag must be positive")
     if samples.size <= lag:
-        return np.empty(0, dtype=float)
-    return np.angle(samples[:-lag] * np.conj(samples[lag:]))
+        return np.empty(0, dtype=np.float64)
+    return np.angle(samples[:-lag] * np.conj(samples[lag:])).astype(
+        np.float64, copy=False
+    )
 
 
 def autocorrelation_metric(samples, lag, window=None):
@@ -51,20 +59,33 @@ def autocorrelation_metric(samples, lag, window=None):
     The window sums run over every sample the receiver captures, so they
     are computed with O(N) cumulative sums rather than O(N*W)
     convolutions (identical up to float accumulation order).
+
+    Contract: returns two independent ``float64`` arrays, each of length
+    ``max(0, len(samples) - lag - window + 1)``.  Inputs shorter than
+    ``lag + window`` samples — hit constantly by the streaming tail path
+    while a block overlap is still filling — yield two distinct empty
+    arrays, never an error; a non-positive ``lag`` or ``window`` raises
+    ``ValueError``.
     """
     samples = np.asarray(samples)
+    if lag <= 0:
+        raise ValueError("lag must be positive")
     if window is None:
         window = lag
+    if window <= 0:
+        raise ValueError("window must be positive")
     if samples.size < lag + window:
-        empty = np.empty(0, dtype=float)
-        return empty, empty
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
     prod = samples[:-lag] * np.conj(samples[lag:])
     energy = np.abs(samples[lag:]) ** 2
     p = sliding_window_sum(prod, window)
     r = sliding_window_sum(energy, window)
     with np.errstate(divide="ignore", invalid="ignore"):
         metric = np.abs(p) ** 2 / np.maximum(r, 1e-30) ** 2
-    return metric, np.angle(p)
+    return (
+        metric.astype(np.float64, copy=False),
+        np.angle(p).astype(np.float64, copy=False),
+    )
 
 
 @dataclass(frozen=True)

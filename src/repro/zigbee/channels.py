@@ -44,6 +44,22 @@ def overlapping_wifi_channels(zigbee_channel, wifi_bandwidth_hz=20e6):
     return list(_overlapping_wifi_channels(zigbee_channel, float(wifi_bandwidth_hz)))
 
 
+def overlapping_zigbee_channels(wifi_channel, wifi_bandwidth_hz=20e6):
+    """ZigBee channels (11-26) falling inside a WiFi channel's band.
+
+    The inverse of :func:`overlapping_wifi_channels`: the sub-bands a
+    wideband WiFi receiver on ``wifi_channel`` can observe concurrently —
+    one demux session per entry in the streaming receive engine.  Every
+    20 MHz WiFi channel covers four ZigBee channels at centre-frequency
+    offsets of (3 + 5m) MHz, m in {-2,-1,0,1} (paper Appendix B).
+    """
+    return [
+        ch
+        for ch in ZIGBEE_CHANNELS
+        if wifi_channel in _overlapping_wifi_channels(ch, float(wifi_bandwidth_hz))
+    ]
+
+
 @lru_cache(maxsize=None)
 def frequency_offset_hz(zigbee_channel, wifi_channel):
     """Centre-frequency offset f_zigbee - f_wifi in Hz.

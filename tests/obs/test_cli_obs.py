@@ -128,3 +128,38 @@ class TestVerbosity:
     def test_flags_set_repro_logger_level(self, argv, level, capsys):
         assert main(argv) == 0
         assert logging.getLogger("repro").level == level
+
+
+class TestObsSummaryErrors:
+    """Broken telemetry files fail with a one-line, path-naming message."""
+
+    def test_missing_file_names_path_and_reason(self, tmp_path, capsys):
+        path = tmp_path / "nope.jsonl"
+        assert main(["obs", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert str(path) in err
+        assert "No such file" in err
+        assert err.count("\n") == 1
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert str(path) in err
+        assert "no manifest record" in err
+
+    def test_malformed_json_names_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "manifest"}\nnot json at all\n')
+        assert main(["obs", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:2" in err
+        assert "not valid JSONL" in err
+
+    def test_non_object_record(self, tmp_path, capsys):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        assert main(["obs", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "expected a JSON object" in err

@@ -1,0 +1,57 @@
+"""Bounded ring-buffer source: accounting, overruns, iteration."""
+
+import numpy as np
+import pytest
+
+from repro.stream.ring import RingBufferSource
+
+
+def _block(n=8):
+    return np.ones(n, dtype=np.complex128)
+
+
+class TestRingBufferSource:
+    def test_fifo_order(self):
+        ring = RingBufferSource(capacity_blocks=4)
+        for k in range(3):
+            assert ring.push(np.full(4, k, dtype=np.complex128))
+        assert ring.pop()[0] == 0
+        assert ring.pop()[0] == 1
+        assert ring.pop()[0] == 2
+        assert ring.pop() is None
+
+    def test_overrun_drops_and_accounts(self):
+        ring = RingBufferSource(capacity_blocks=2)
+        assert ring.push(_block(8))
+        assert ring.push(_block(8))
+        assert not ring.push(_block(8))
+        stats = ring.stats()
+        assert stats["overruns"] == 1
+        assert stats["samples_dropped"] == 8
+        assert stats["blocks_pushed"] == 2
+        # The queued blocks are intact.
+        assert ring.pop().size == 8
+        assert ring.push(_block(4))
+
+    def test_close_then_drain(self):
+        ring = RingBufferSource(capacity_blocks=4)
+        ring.push(_block(3))
+        ring.push(_block(5))
+        ring.close()
+        sizes = [b.size for b in ring]
+        assert sizes == [3, 5]
+        with pytest.raises(ValueError):
+            ring.push(_block())
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSource(capacity_blocks=0)
+
+    def test_depth_tracking(self):
+        ring = RingBufferSource(capacity_blocks=8)
+        assert ring.stats()["depth"] == 0
+        ring.push(_block())
+        ring.push(_block())
+        assert ring.stats()["depth"] == 2
+        ring.pop()
+        assert ring.stats()["depth"] == 1

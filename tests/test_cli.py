@@ -34,3 +34,77 @@ class TestCommands:
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "valid ids" in capsys.readouterr().err
+
+
+class TestListen:
+    def test_wideband_decodes_all_scheduled(self, capsys):
+        assert (
+            main(
+                [
+                    "listen",
+                    "--senders", "1",
+                    "--duration", "0.02",
+                    "--block-size", "16384",
+                    "--seed", "11",
+                    "--wideband",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wideband" in out
+        assert "scheduled frames delivered" in out
+        assert "Msps" in out
+
+    def test_demux_multi_sender(self, capsys):
+        assert (
+            main(
+                [
+                    "listen",
+                    "--senders", "3",
+                    "--duration", "0.02",
+                    "--block-size", "16384",
+                    "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "demux" in out
+
+    def test_metrics_out_round_trips_through_obs_summary(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "listen.jsonl"
+        assert (
+            main(
+                [
+                    "listen",
+                    "--senders", "1",
+                    "--duration", "0.02",
+                    "--seed", "11",
+                    "--wideband",
+                    "--metrics-out", str(out_path),
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "summary", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "listen" in text
+        assert "stream.engine.blocks" in text
+
+    def test_rejects_bad_scenario(self, capsys):
+        assert (
+            main(
+                ["listen", "--senders", "1", "--scenario", "the-moon"]
+            )
+            == 2
+        )
+        assert "valid names" in capsys.readouterr().err
+
+    def test_rejects_zero_senders(self, capsys):
+        assert main(["listen", "--senders", "0"]) == 2
+        assert "senders" in capsys.readouterr().err

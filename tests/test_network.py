@@ -142,3 +142,76 @@ class TestHiddenTerminals:
         for record in result.records:
             if record.collided:
                 assert not record.delivered
+
+
+class TestStreamTraffic:
+    """Multi-sender traffic synthesis feeding the streaming engine."""
+
+    def _traffic(self, **kwargs):
+        from repro.network.traffic import StreamSender, StreamTraffic
+
+        senders = [
+            StreamSender(0, zigbee_channel=13, reading_interval_s=0.003),
+            StreamSender(1, zigbee_channel=14, reading_interval_s=0.003),
+        ]
+        kwargs.setdefault("duration_s", 0.02)
+        return StreamTraffic(senders, **kwargs)
+
+    def test_schedule_is_seed_deterministic(self):
+        import numpy as np
+
+        a, _ = self._traffic().schedule(np.random.default_rng(3))
+        b, _ = self._traffic().schedule(np.random.default_rng(3))
+        assert a == b
+
+    def test_same_channel_transmissions_never_overlap(self):
+        import numpy as np
+
+        from repro.network.traffic import StreamSender, StreamTraffic
+
+        senders = [
+            StreamSender(i, zigbee_channel=13, reading_interval_s=0.002)
+            for i in range(3)
+        ]
+        traffic = StreamTraffic(senders, duration_s=0.03)
+        transmissions, _ = traffic.schedule(np.random.default_rng(5))
+        ordered = sorted(transmissions, key=lambda t: t.start_sample)
+        for first, second in zip(ordered, ordered[1:]):
+            assert second.start_sample >= first.end_sample
+
+    def test_frames_fit_inside_capture(self):
+        import numpy as np
+
+        traffic = self._traffic()
+        transmissions, _ = traffic.schedule(np.random.default_rng(7))
+        assert transmissions
+        for t in transmissions:
+            assert t.start_sample >= traffic.lead_in_samples
+            assert t.end_sample + traffic.guard_samples <= traffic.total_samples
+
+    def test_capture_length_and_truth(self):
+        import numpy as np
+
+        traffic = self._traffic()
+        samples, truth = traffic.capture(np.random.default_rng(9))
+        assert samples.size == traffic.total_samples
+        assert samples.dtype == np.complex128
+        for t in truth:
+            assert len(t.frame_bits) >= len(t.data_bits) + 40
+
+    def test_blocks_cover_capture_exactly(self):
+        import numpy as np
+
+        traffic = self._traffic()
+        samples, _ = traffic.capture(np.random.default_rng(9))
+        blocks = list(traffic.blocks(samples, 7000))
+        assert sum(b.size for b in blocks) == samples.size
+        assert all(b.size == 7000 for b in blocks[:-1])
+        with pytest.raises(ValueError):
+            next(traffic.blocks(samples, 0))
+
+    def test_requires_a_sender(self):
+        from repro.network.traffic import StreamTraffic
+
+        with pytest.raises(ValueError):
+            StreamTraffic([])
