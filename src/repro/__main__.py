@@ -6,6 +6,7 @@
     python -m repro run fig12 --metrics-out m.jsonl --trace   # + telemetry
     python -m repro obs summary m.jsonl   # pretty-print a recorded run
     python -m repro listen --senders 3    # streaming multi-sender decode
+    python -m repro send --fault-profile burst   # reliable transport demo
     python -m repro survey                # scenario site survey
     python -m repro info                  # key constants and rates
 
@@ -283,6 +284,112 @@ def _cmd_listen(args):
     return 0 if delivered == len(truth) else 1
 
 
+def _cmd_send(args):
+    from repro import obs
+    from repro.experiments.common import print_table
+    from repro.transport import SCHEME_NAMES, TransportSession, make_profile
+
+    if args.message is not None and args.size is not None:
+        print("error: --message and --size are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.message is not None:
+        message = args.message.encode()
+    else:
+        import numpy as np
+
+        size = args.size if args.size is not None else 32
+        message = np.random.default_rng(args.seed).integers(
+            0, 256, size, dtype=np.uint8
+        ).tobytes()
+    if not message:
+        print("error: empty message", file=sys.stderr)
+        return 2
+
+    try:
+        profile = make_profile(args.fault_profile)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.fec != "adaptive" and args.fec not in SCHEME_NAMES:
+        valid = ", ".join(("adaptive",) + SCHEME_NAMES)
+        print(f"error: unknown FEC {args.fec!r}; valid: {valid}", file=sys.stderr)
+        return 2
+
+    record = bool(args.metrics_out) or args.trace
+    if record:
+        obs.REGISTRY.reset()
+        if args.trace:
+            obs.TRACER.reset()
+        obs.enable(trace=args.trace)
+
+    session = TransportSession(
+        snr_db=args.snr,
+        fault_profile=profile,
+        seed=args.seed,
+        fec=args.fec,
+        window=args.window,
+        rto_s=args.rto,
+        max_attempts=args.max_retries,
+    )
+    t0 = time.perf_counter()
+    result = session.send(message)
+    elapsed = time.perf_counter() - t0
+
+    acks_ok = sum(1 for ack in result.acks if ack.ok)
+    rows = [
+        ("message", f"{len(message)} bytes"),
+        ("fault profile", profile.describe()),
+        ("snr", f"{args.snr:g} dB"),
+        ("fec", args.fec),
+        ("fragments", f"{result.frag_count} x {result.fragment_bits} bits"),
+        ("transmissions", str(result.n_tx)),
+        ("retransmits", str(result.retransmits)),
+        ("fec switches", str(result.fec_switches)),
+        (
+            "schemes",
+            ", ".join(
+                f"{name}:{count}"
+                for name, count in sorted(result.scheme_counts.items())
+            ),
+        ),
+        ("acks", f"{acks_ok}/{len(result.acks)} delivered"),
+        ("link time", f"{result.elapsed_s:.3f} s (simulated)"),
+        ("goodput", f"{result.goodput_bps:.1f} bps"),
+        (
+            "delivered",
+            "byte-exact" if result.byte_exact else
+            ("delivered (mismatch!)" if result.delivered else "FAILED"),
+        ),
+    ]
+    print_table(("field", "value"), rows, title="transport send")
+
+    if record:
+        obs.disable()
+        snapshot = obs.REGISTRY.snapshot()
+        spans = obs.TRACER.drain() if args.trace else []
+        if args.metrics_out:
+            manifest = obs.build_manifest(
+                experiments=[
+                    {
+                        "id": "send",
+                        "status": "ok" if result.byte_exact else "error",
+                        "elapsed_seconds": round(elapsed, 3),
+                        "error": None if result.byte_exact else "delivery failed",
+                    }
+                ],
+                seed=args.seed,
+                metrics=snapshot,
+                argv=sys.argv[1:],
+                n_spans=len(spans),
+            )
+            obs.write_run_jsonl(
+                args.metrics_out, manifest, snapshot=snapshot, spans=spans
+            )
+            print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+
+    return 0 if result.byte_exact else 1
+
+
 def _cmd_survey(_args):
     import numpy as np
 
@@ -339,6 +446,10 @@ def _cmd_info(_args):
     print(f"packet-level bandwidth: {packet_level_bandwidth_hz():.1f} Hz")
     print(f"symbol-level gain:     {shannon_gain_factor():.0f}x")
     print(f"speedup vs C-Morse:    {speedup_versus(215.0):.1f}x")
+    print(
+        "metric namespaces:     "
+        "link.* decoder.* preamble.* network.* stream.* transport.*"
+    )
     return 0
 
 
@@ -438,6 +549,58 @@ def build_parser():
     )
     summary.add_argument("path", help="JSONL file from 'run --metrics-out'")
     summary.set_defaults(func=_cmd_obs)
+    send = sub.add_parser(
+        "send",
+        help="deliver one message reliably over a faulted SymBee link "
+             "(segmentation + selective-repeat ARQ + FEC adaptation)",
+    )
+    send.add_argument(
+        "--message", default=None,
+        help="message text to deliver (default: 32 seeded random bytes)",
+    )
+    send.add_argument(
+        "--size", type=int, default=None, metavar="BYTES",
+        help="send BYTES seeded random bytes instead of --message",
+    )
+    send.add_argument(
+        "--snr", type=float, default=3.0,
+        help="base link SNR in dB before fault dynamics (default 3)",
+    )
+    send.add_argument(
+        "--fault-profile", default="none",
+        help="channel dynamics: none, burst, interference, snr-ramp, "
+             "ack-blackout (default none)",
+    )
+    send.add_argument(
+        "--fec", default="adaptive",
+        help="adaptive, none, hamming or conv (default adaptive)",
+    )
+    send.add_argument(
+        "--seed", type=int, default=0,
+        help="session RNG seed (default 0)",
+    )
+    send.add_argument(
+        "--window", type=int, default=8,
+        help="selective-repeat send window (default 8)",
+    )
+    send.add_argument(
+        "--max-retries", type=int, default=12, metavar="N",
+        help="transmission attempts per fragment before giving up "
+             "(default 12)",
+    )
+    send.add_argument(
+        "--rto", type=float, default=0.35, metavar="SECONDS",
+        help="retransmit timeout (default 0.35)",
+    )
+    send.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a run manifest + metric/span JSONL streams to PATH",
+    )
+    send.add_argument(
+        "--trace", action="store_true",
+        help="record transport trace spans (into --metrics-out)",
+    )
+    send.set_defaults(func=_cmd_send)
     sub.add_parser("survey", help="scenario site survey").set_defaults(
         func=_cmd_survey
     )

@@ -9,6 +9,7 @@ coding gain is worth it.  This is the natural "link layer coding" follow
 up the paper's Section VIII-E gestures at.
 """
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,11 +35,21 @@ class LinkQualityEstimator:
         self._values = 0
 
     def observe(self, decoded_bits, counts):
-        """Fold one frame's decode into the estimate."""
-        for bit, count in zip(decoded_bits, counts):
-            errors = (self.window - count) if bit == 1 else count
-            self._errors += int(errors)
-            self._values += self.window
+        """Fold one frame's decode into the estimate.
+
+        Vectorized: a decoded 1 contributes ``window - count`` erroneous
+        values and a decoded 0 contributes ``count``, summed in one numpy
+        reduction over the frame instead of a per-bit Python loop.
+        """
+        bits = np.asarray(decoded_bits)
+        counts = np.asarray(counts)
+        n = min(bits.size, counts.size)
+        if n == 0:
+            return
+        bits, counts = bits[:n], counts[:n]
+        errors = np.where(bits == 1, self.window - counts, counts)
+        self._errors += int(errors.sum())
+        self._values += self.window * n
 
     @property
     def samples(self):
@@ -72,6 +83,46 @@ class LinkQualityEstimator:
     def reset(self):
         self._errors = 0
         self._values = 0
+
+
+class WindowedLinkQuality(LinkQualityEstimator):
+    """Sliding-window variant tracking *time-varying* channels.
+
+    The pooled estimator above converges on the long-run average — the
+    right tool for a stationary link, and exactly the wrong one for the
+    bursty, ramping channels AdaComm showed dominate CTC deployments: an
+    hour-old clean spell would forever mask a fade happening now.  This
+    variant pools only the most recent ``max_frames`` frames, so the
+    estimate follows the channel with a bounded memory; it is the
+    tracker behind ``repro.transport``'s per-session rate adaptation.
+    """
+
+    def __init__(self, window=SYMBEE_STABLE_WINDOW_20MHZ, max_frames=24):
+        super().__init__(window=window)
+        if max_frames < 1:
+            raise ValueError("max_frames must be positive")
+        self.max_frames = int(max_frames)
+        self._frames = deque()
+
+    def observe(self, decoded_bits, counts):
+        before_e, before_v = self._errors, self._values
+        super().observe(decoded_bits, counts)
+        self._frames.append(
+            (self._errors - before_e, self._values - before_v)
+        )
+        while len(self._frames) > self.max_frames:
+            errors, values = self._frames.popleft()
+            self._errors -= errors
+            self._values -= values
+
+    @property
+    def frames(self):
+        """Frames currently inside the window."""
+        return len(self._frames)
+
+    def reset(self):
+        super().reset()
+        self._frames.clear()
 
 
 @dataclass(frozen=True)

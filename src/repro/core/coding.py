@@ -21,12 +21,24 @@ _DATA_POSITIONS = (3, 5, 6, 7)
 _PARITY_POSITIONS = (1, 2, 4)
 
 
+def _as_bit_array(bits):
+    """Bits as an int8 array, without copying an existing ndarray.
+
+    Lists/tuples/generators take the materializing path; ndarray inputs
+    (the transport hot path encodes numpy PDUs) convert in place when the
+    dtype already matches.
+    """
+    if isinstance(bits, np.ndarray):
+        return bits.astype(np.int8, copy=False)
+    return np.asarray(list(bits), dtype=np.int8)
+
+
 def hamming74_encode(bits):
     """Encode a bit sequence; length must be a multiple of 4.
 
     Returns a numpy int8 array of 7 bits per 4 input bits.
     """
-    bits = np.asarray(list(bits), dtype=np.int8)
+    bits = _as_bit_array(bits)
     if bits.size % _DATA_LEN != 0:
         raise ValueError("input length must be a multiple of 4")
     if bits.size and not np.all((bits == 0) | (bits == 1)):
@@ -51,7 +63,7 @@ def hamming74_decode(bits):
     codewords in which a single-bit error was fixed.  Double errors decode
     wrongly (the code's limit — the paper makes the same point).
     """
-    bits = np.asarray(list(bits), dtype=np.int8)
+    bits = _as_bit_array(bits)
     if bits.size % _CODEWORD_LEN != 0:
         raise ValueError("input length must be a multiple of 7")
     if bits.size and not np.all((bits == 0) | (bits == 1)):

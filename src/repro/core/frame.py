@@ -27,6 +27,34 @@ FRAME_TYPE_DATA = 0
 FRAME_TYPE_CONTROL = 1
 FRAME_TYPE_ACK = 2
 
+#: Transport-layer data fragments (``repro.transport``): the FEC scheme
+#: protecting the fragment rides in the frame type itself —
+#: ``FRAME_TYPE_TRANSPORT_BASE + scheme_id`` for scheme ids 0 (uncoded),
+#: 1 (Hamming(7,4)) and 2 (K=7 convolutional).  Keeping the scheme out
+#: of the coded region lets the receiver pick the right decoder even
+#: when the payload arrived damaged; a corrupted type field simply fails
+#: the transport's inner checksum, which covers it implicitly.
+FRAME_TYPE_TRANSPORT_BASE = 4
+N_TRANSPORT_SCHEMES = 3
+
+#: Highest frame type any current receiver should accept.
+MAX_KNOWN_FRAME_TYPE = FRAME_TYPE_TRANSPORT_BASE + N_TRANSPORT_SCHEMES - 1
+
+
+def transport_frame_type(scheme_id):
+    """Frame type carrying a transport fragment coded with ``scheme_id``."""
+    if not 0 <= scheme_id < N_TRANSPORT_SCHEMES:
+        raise ValueError(f"unknown transport scheme id {scheme_id}")
+    return FRAME_TYPE_TRANSPORT_BASE + scheme_id
+
+
+def transport_scheme_id(frame_type):
+    """Inverse of :func:`transport_frame_type`; ``None`` for other types."""
+    scheme_id = frame_type - FRAME_TYPE_TRANSPORT_BASE
+    if 0 <= scheme_id < N_TRANSPORT_SCHEMES:
+        return scheme_id
+    return None
+
 _HEADER_BITS = 24  # control(16) + sequence(8)
 _CRC_BITS = 16
 

@@ -18,9 +18,12 @@ from repro.network.traffic import (
     StreamSender,
     StreamTraffic,
 )
+from repro.transport.multisession import MultiSenderResult, MultiSenderTransport
 
 __all__ = [
     "ConvergecastNetwork",
+    "MultiSenderResult",
+    "MultiSenderTransport",
     "NetworkResult",
     "NodeConfig",
     "ScheduledTransmission",

@@ -30,7 +30,15 @@ from repro.zigbee.transmitter import ZigBeeTransmitter
 
 @dataclass(frozen=True)
 class StreamSender:
-    """One SymBee sensor feeding the stream."""
+    """One SymBee sensor feeding the stream.
+
+    By default each transmission carries ``data_bits`` random bits in a
+    DATA frame.  ``frames`` overrides that with a scripted sequence of
+    ``(data_bits, frame_type, sequence)`` tuples — exactly what
+    :func:`repro.transport.pdu.encode_fragment` returns, so transport
+    fragments script directly — sent in order at the sender's arrival
+    process; the sender falls silent once the script is exhausted.
+    """
 
     sender_id: int
     zigbee_channel: int = 13
@@ -38,6 +46,7 @@ class StreamSender:
     data_bits: int = 16
     distance_m: float = 5.0
     tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    frames: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -124,12 +133,25 @@ class StreamTraffic:
         sequences = {}
         for clock, sender in arrivals:
             sequence = sequences.get(sender.sender_id, 0)
-            data_bits = tuple(
-                int(b) for b in rng.integers(0, 2, sender.data_bits)
-            )
-            frame_bits = tuple(
-                build_frame_bits(list(data_bits), sequence=sequence & 0xFF)
-            )
+            if sender.frames:
+                if sequence >= len(sender.frames):
+                    continue  # script exhausted; sender is done
+                data_bits, frame_type, frame_sequence = sender.frames[sequence]
+                data_bits = tuple(int(b) for b in data_bits)
+                frame_bits = tuple(
+                    build_frame_bits(
+                        list(data_bits),
+                        sequence=int(frame_sequence) & 0xFF,
+                        frame_type=int(frame_type),
+                    )
+                )
+            else:
+                data_bits = tuple(
+                    int(b) for b in rng.integers(0, 2, sender.data_bits)
+                )
+                frame_bits = tuple(
+                    build_frame_bits(list(data_bits), sequence=sequence & 0xFF)
+                )
             payload = self.encoder.encode_message(frame_bits)
             transmitter = self._transmitters[sender.sender_id]
             frame = transmitter.build_frame(

@@ -186,6 +186,18 @@ def summarize_manifest(manifest, metrics=(), spans=(), top=10):
                 line += f"  {entry['error']}"
             lines.append(line)
     snapshot = manifest.get("metrics", {})
+    namespaces = sorted(
+        {
+            name.split(".", 1)[0]
+            for kind in ("counters", "gauges", "histograms")
+            for name in snapshot.get(kind, {})
+            if "." in name
+        }
+    )
+    if namespaces:
+        lines.append(
+            "namespaces: " + " ".join(f"{ns}.*" for ns in namespaces)
+        )
     counters = snapshot.get("counters", {})
     if counters:
         lines.append(f"counters ({len(counters)}):")

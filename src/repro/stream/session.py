@@ -35,7 +35,9 @@ import numpy as np
 from repro.constants import SYMBEE_PREAMBLE_BITS
 from repro.core.frame import (
     FRAME_TYPE_ACK,
+    FRAME_TYPE_TRANSPORT_BASE,
     MAX_DATA_BITS,
+    MAX_KNOWN_FRAME_TYPE,
     VERSION,
     frame_overhead_bits,
     parse_frame_bits,
@@ -337,7 +339,8 @@ class StreamSession:
         length = self._bits_to_int(bits[8:16])
         if (
             version != VERSION
-            or frame_type > FRAME_TYPE_ACK
+            or frame_type > MAX_KNOWN_FRAME_TYPE
+            or (FRAME_TYPE_ACK < frame_type < FRAME_TYPE_TRANSPORT_BASE)
             or length > MAX_DATA_BITS
         ):
             return self._reject_header()

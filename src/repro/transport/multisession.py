@@ -1,0 +1,164 @@
+"""Multiple transport senders sharing one ZigBee channel.
+
+Every sender runs the same per-message endpoint the single-sender
+session uses (:class:`repro.transport.session._Endpoint` — same ARQ,
+same adaptation, same seeding discipline), but their data frames
+contend for a single airtime resource and their ACK beacon trains for a
+single WiFi AP.  Arbitration is a polite round-robin among the senders
+whose ARQ machines have an eligible fragment when the channel frees —
+the senders-hear-each-other assumption the convergecast network
+simulator also makes — so the model measures queueing and feedback
+delay, not collision losses.
+
+Each sender gets an independent fault-profile instance and an
+independent seed branch, so per-sender channel dynamics are uncorrelated
+unless the caller passes shared profile objects on purpose.
+"""
+
+from dataclasses import dataclass
+
+from numpy.random import SeedSequence
+
+from repro.obs.trace import TRACER
+from repro.transport.ackchannel import ACK_WINDOW, AckChannel
+from repro.transport.channel import TransportChannel
+from repro.transport.faults import FaultProfile
+from repro.transport.pdu import MAX_MSG_ID, NOMINAL_PAYLOAD_BITS, scheme_id
+from repro.transport.policy import TransportPolicy
+from repro.transport.session import TURNAROUND_S, AckAirtime, _Endpoint
+
+
+@dataclass(frozen=True)
+class MultiSenderResult:
+    """Outcome of one shared-channel run."""
+
+    results: tuple           # per-sender TransportResult, sender order
+    elapsed_s: float
+    grants: tuple            # per-sender data-frame grants
+
+    @property
+    def all_delivered(self):
+        return all(r.delivered and r.byte_exact for r in self.results)
+
+    @property
+    def aggregate_goodput_bps(self):
+        if self.elapsed_s <= 0:
+            return 0.0
+        delivered = sum(
+            8 * r.message_bytes for r in self.results if r.delivered
+        )
+        return delivered / self.elapsed_s
+
+
+class MultiSenderTransport:
+    """Shared-airtime arbiter over N transport endpoints."""
+
+    def __init__(
+        self,
+        messages,
+        snr_db=6.0,
+        fault_profiles=None,
+        seed=0,
+        fec="adaptive",
+        window=ACK_WINDOW,
+        rto_s=0.35,
+        max_attempts=12,
+        escalate_after=2,
+        **link_kwargs,
+    ):
+        messages = [bytes(m) for m in messages]
+        if not messages:
+            raise ValueError("need at least one sender message")
+        if fault_profiles is None:
+            fault_profiles = [FaultProfile() for _ in messages]
+        if len(fault_profiles) != len(messages):
+            raise ValueError("one fault profile per sender (or None)")
+        root = seed if isinstance(seed, SeedSequence) else SeedSequence(seed)
+        fixed = None if fec == "adaptive" else (
+            scheme_id(fec) if isinstance(fec, str) else int(fec)
+        )
+        ack_airtime = AckAirtime()
+        self.endpoints = []
+        for index, (message, profile) in enumerate(zip(messages, fault_profiles)):
+            channel = TransportChannel(
+                snr_db=snr_db, fault_profile=profile, **link_kwargs
+            )
+            impairments = profile.ack_impairments()
+            ack_channel = AckChannel(
+                loss_prob=impairments.loss_prob,
+                jitter_sigma_s=impairments.jitter_sigma_s,
+                blackouts=impairments.blackouts,
+            )
+            policy = TransportPolicy()
+            fragment_bits = (
+                NOMINAL_PAYLOAD_BITS[fixed]
+                if fixed is not None
+                else policy.decide_fragmentation().fragment_bits
+            )
+            self.endpoints.append(
+                _Endpoint(
+                    root=SeedSequence(
+                        entropy=root.entropy, spawn_key=root.spawn_key + (index,)
+                    ),
+                    channel=channel,
+                    ack_channel=ack_channel,
+                    policy=policy,
+                    fixed_scheme=fixed,
+                    message=message,
+                    msg_id=index % MAX_MSG_ID,
+                    fragment_bits=fragment_bits,
+                    window=window,
+                    rto_s=rto_s,
+                    max_attempts=max_attempts,
+                    escalate_after=escalate_after,
+                    ack_airtime=ack_airtime,
+                )
+            )
+        self._grants = [0] * len(self.endpoints)
+
+    def _pick(self, ready):
+        """Fair grant: fewest grants so far, sender index breaking ties."""
+        index = min(ready, key=lambda i: (self._grants[i], i))
+        self._grants[index] += 1
+        return index
+
+    def run(self):
+        """Drive every sender to completion (or budget exhaustion)."""
+        endpoints = self.endpoints
+        now_s = 0.0
+        channel_free_s = 0.0
+        with TRACER.span("transport.multisender", senders=len(endpoints)):
+            while True:
+                for endpoint in endpoints:
+                    endpoint.pump_acks(now_s)
+                    endpoint.maybe_send_ack(now_s)
+                if not any(endpoint.active for endpoint in endpoints):
+                    break
+                ready = [
+                    i
+                    for i, endpoint in enumerate(endpoints)
+                    if endpoint.active and endpoint.tx_ready(now_s)
+                ]
+                if ready and now_s >= channel_free_s:
+                    endpoint = endpoints[self._pick(ready)]
+                    airtime_s = endpoint.transmit(now_s)
+                    channel_free_s = now_s + airtime_s + TURNAROUND_S
+                    now_s = channel_free_s
+                    continue
+                candidates = [channel_free_s] if ready else []
+                for endpoint in endpoints:
+                    if not endpoint.active:
+                        continue
+                    upcoming = endpoint.next_event(now_s)
+                    if upcoming is not None:
+                        candidates.append(upcoming)
+                if not candidates:
+                    break
+                now_s = max(now_s, min(candidates))
+        return MultiSenderResult(
+            results=tuple(
+                endpoint.result(now_s) for endpoint in self.endpoints
+            ),
+            elapsed_s=now_s,
+            grants=tuple(self._grants),
+        )

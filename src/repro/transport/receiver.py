@@ -1,0 +1,104 @@
+"""Transport receiver: fragment intake, reassembly, ACK generation.
+
+The receiver consumes per-transmission observations (from
+:class:`repro.transport.channel.TransportChannel` or, in streaming
+deployments, frames surfaced by :mod:`repro.stream`), feeds every
+decode's vote margins into a sliding-window channel tracker, validates
+fragments through the PDU layer, and produces selective-repeat ACK
+records carrying the reassembly state plus the quantized channel
+estimate for the sender's adaptation.
+"""
+
+from repro.core.adaptive import WindowedLinkQuality
+from repro.transport.ackchannel import ACK_WINDOW, AckRecord
+from repro.transport.pdu import decode_fragment
+from repro.transport.policy import quantize_quality
+from repro.transport.segmentation import Reassembler
+
+
+class TransportReceiver:
+    """Receive-side state for a single-sender transport session."""
+
+    def __init__(self, tracker=None):
+        self.tracker = tracker if tracker is not None else WindowedLinkQuality()
+        self.reassembler = None
+        self.frames_seen = 0
+        self.fragments_accepted = 0
+        self.fragments_rejected = 0
+
+    # -- intake --------------------------------------------------------------
+
+    def on_observation(self, observation):
+        """Process one PHY observation; the accepted Fragment or ``None``.
+
+        Every delivered decode updates the channel tracker — corrupted
+        frames carry exactly as much soft information as clean ones,
+        which is what keeps the quality estimate honest when the link
+        degrades and clean frames become rare.
+        """
+        if observation is None or not observation.delivered:
+            return None
+        self.frames_seen += 1
+        if observation.counts:
+            self.tracker.observe(observation.decoded_bits, observation.counts)
+        return self.on_frame(
+            observation.frame_type, observation.sequence, observation.data_bits
+        )
+
+    def on_frame(self, frame_type, sequence, data_bits):
+        """Validate one frame's fields through the PDU layer."""
+        fragment = decode_fragment(frame_type, sequence, data_bits)
+        if fragment is None:
+            self.fragments_rejected += 1
+            return None
+        if (
+            self.reassembler is None
+            or self.reassembler.msg_id != fragment.msg_id
+            or self.reassembler.frag_count != fragment.frag_count
+        ):
+            self.reassembler = Reassembler(fragment.msg_id, fragment.frag_count)
+        self.reassembler.add(fragment)
+        self.fragments_accepted += 1
+        return fragment
+
+    # -- output --------------------------------------------------------------
+
+    @property
+    def started(self):
+        """True once at least one fragment of the current message landed."""
+        return self.reassembler is not None
+
+    @property
+    def complete(self):
+        return self.reassembler is not None and self.reassembler.complete
+
+    def message(self):
+        """Reassembled bytes of the current message, or ``None``."""
+        if self.reassembler is None:
+            return None
+        return self.reassembler.message()
+
+    def ack_record(self):
+        """Current selective-repeat ACK for the in-progress message.
+
+        ``base`` is the lowest missing fragment index, clamped to the
+        6-bit field (a fully received 64-fragment message would need
+        base 64; base 63 + bitmap bit 0 says the same thing), and the
+        bitmap covers the :data:`ACK_WINDOW` fragments above it.
+        """
+        if self.reassembler is None:
+            return None
+        received = self.reassembler.received_indexes
+        base = 0
+        while base in received:
+            base += 1
+        base = min(base, (1 << 6) - 1)
+        bitmap = tuple(
+            1 if (base + offset) in received else 0 for offset in range(ACK_WINDOW)
+        )
+        return AckRecord(
+            msg_id=self.reassembler.msg_id,
+            base=base,
+            bitmap=bitmap,
+            quality=quantize_quality(self.tracker.phase_error_probability),
+        )

@@ -1,0 +1,116 @@
+"""Message segmentation and reassembly.
+
+A message is an arbitrary byte string.  Segmentation appends a ``1``
+marker bit and zero-pads to a whole number of equal-size fragments, so
+every fragment carries exactly ``fragment_bits`` payload bits and the
+receiver needs no length field anywhere: reassembly concatenates the
+fragments in index order, strips trailing zeros and the marker, and
+packs bytes back out.  Uniform fragments are what make the selective
+repeat ACK bitmap and the ``offset = index * fragment_bits`` reassembly
+rule trivially correct under out-of-order delivery.
+"""
+
+import numpy as np
+
+from repro.transport.pdu import MAX_FRAGMENTS, Fragment
+
+
+def bytes_to_bits(data):
+    """MSB-first bit list of a byte string."""
+    if len(data) == 0:
+        return []
+    return list(np.unpackbits(np.frombuffer(bytes(data), dtype=np.uint8)))
+
+
+def bits_to_bytes(bits):
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ValueError("bit length must be a multiple of 8")
+    if not bits:
+        return b""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes()
+
+
+def segment_message(data, msg_id, fragment_bits):
+    """Split ``data`` (bytes) into uniform :class:`Fragment` objects.
+
+    Raises ``ValueError`` when the message needs more than 64 fragments
+    at this fragment size — the caller (the sender's policy) must then
+    pick a larger fragment size, i.e. a weaker FEC scheme.
+    """
+    if fragment_bits < 1:
+        raise ValueError("fragment_bits must be positive")
+    bits = bytes_to_bits(data) + [1]          # unambiguous end marker
+    bits += [0] * ((-len(bits)) % fragment_bits)
+    count = len(bits) // fragment_bits
+    if count > MAX_FRAGMENTS:
+        raise ValueError(
+            f"{len(data)}-byte message needs {count} fragments of "
+            f"{fragment_bits} bits (max {MAX_FRAGMENTS}); use a larger "
+            "fragment size"
+        )
+    return [
+        Fragment(
+            msg_id=msg_id,
+            frag_index=k,
+            frag_count=count,
+            payload=tuple(bits[k * fragment_bits : (k + 1) * fragment_bits]),
+        )
+        for k in range(count)
+    ]
+
+
+def unpad_bits(bits):
+    """Strip the zero pad and the ``1`` marker; ``None`` if no marker."""
+    bits = list(bits)
+    while bits and bits[-1] == 0:
+        bits.pop()
+    if not bits or bits[-1] != 1:
+        return None
+    return bits[:-1]
+
+
+class Reassembler:
+    """Collects fragments of one message; yields the bytes when complete.
+
+    Duplicates (ARQ retransmissions of already-received fragments) are
+    detected and dropped; a fragment disagreeing with an earlier copy of
+    the same index is ignored (first write wins — the checksum already
+    vouched for the first copy).
+    """
+
+    def __init__(self, msg_id, frag_count):
+        self.msg_id = int(msg_id)
+        self.frag_count = int(frag_count)
+        self._fragments = {}
+        self.duplicates = 0
+
+    def add(self, fragment):
+        """Insert one fragment; True when it was new."""
+        if fragment.msg_id != self.msg_id or fragment.frag_count != self.frag_count:
+            raise ValueError("fragment belongs to a different message")
+        if fragment.frag_index in self._fragments:
+            self.duplicates += 1
+            return False
+        self._fragments[fragment.frag_index] = fragment.payload
+        return True
+
+    @property
+    def received_indexes(self):
+        return frozenset(self._fragments)
+
+    @property
+    def complete(self):
+        return len(self._fragments) == self.frag_count
+
+    def message(self):
+        """The reassembled bytes, or ``None`` while incomplete/corrupt."""
+        if not self.complete:
+            return None
+        bits = []
+        for k in range(self.frag_count):
+            bits.extend(self._fragments[k])
+        bits = unpad_bits(bits)
+        if bits is None or len(bits) % 8 != 0:
+            return None
+        return bits_to_bytes(bits)

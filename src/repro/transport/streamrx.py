@@ -1,0 +1,95 @@
+"""Transport reassembly over the streaming receive engine.
+
+:mod:`repro.stream` surfaces every frame it can delimit from a
+continuous capture — including transport fragments, whose frame types
+its header gate accepts.  This adapter sits on that output and rebuilds
+messages: each :class:`repro.stream.session.StreamFrame` is pushed
+through the transport PDU layer (which ignores the outer CRC verdict —
+the inner checksum decides), fragments are routed to per-``(sender,
+msg_id)`` reassemblers, and completed messages pop out in completion
+order.
+
+This is the receive path of a *broadcast* deployment: no ACK channel
+and no ARQ, just whatever redundancy the sender's FEC scheme and its own
+retransmissions provide.  The session-based transport
+(:mod:`repro.transport.session`) is the closed-loop counterpart.
+"""
+
+from dataclasses import dataclass
+
+from repro.transport.pdu import decode_fragment
+from repro.transport.segmentation import Reassembler
+
+
+@dataclass(frozen=True)
+class CompletedMessage:
+    """One fully reassembled message recovered from the stream."""
+
+    msg_id: int
+    data: bytes
+    frag_count: int
+    duplicates: int
+    zigbee_channel: "int | None" = None
+
+
+class StreamReassembler:
+    """Rebuilds transport messages from demultiplexed stream frames."""
+
+    def __init__(self):
+        self._reassemblers = {}
+        self.fragments_accepted = 0
+        self.frames_rejected = 0
+        self.messages_completed = 0
+
+    def push(self, stream_frame):
+        """Feed one stream frame; a :class:`CompletedMessage` or ``None``.
+
+        Frames that are not transport fragments (other frame types, or
+        inner-checksum failures) are counted and dropped.
+        """
+        frame = stream_frame.frame
+        if frame is None:
+            self.frames_rejected += 1
+            return None
+        fragment = decode_fragment(
+            frame.frame_type, frame.sequence, frame.data_bits
+        )
+        if fragment is None:
+            self.frames_rejected += 1
+            return None
+        self.fragments_accepted += 1
+        channel = getattr(stream_frame, "zigbee_channel", None)
+        key = (channel, fragment.msg_id, fragment.frag_count)
+        reassembler = self._reassemblers.get(key)
+        if reassembler is None:
+            reassembler = Reassembler(fragment.msg_id, fragment.frag_count)
+            self._reassemblers[key] = reassembler
+        reassembler.add(fragment)
+        if not reassembler.complete:
+            return None
+        data = reassembler.message()
+        del self._reassemblers[key]
+        if data is None:
+            return None
+        self.messages_completed += 1
+        return CompletedMessage(
+            msg_id=fragment.msg_id,
+            data=data,
+            frag_count=fragment.frag_count,
+            duplicates=reassembler.duplicates,
+            zigbee_channel=channel,
+        )
+
+    def push_all(self, stream_frames):
+        """Feed a frame iterable; the completed messages, in order."""
+        completed = []
+        for stream_frame in stream_frames:
+            message = self.push(stream_frame)
+            if message is not None:
+                completed.append(message)
+        return completed
+
+    @property
+    def pending(self):
+        """Number of partially reassembled messages still open."""
+        return len(self._reassemblers)

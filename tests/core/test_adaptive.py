@@ -145,3 +145,104 @@ class TestAdaptiveFec:
         # In the conv sweet spot it dominates.
         assert policy._conv_goodput(0.05) > policy._coded_goodput(0.05)
         assert policy._conv_goodput(0.05) > policy._uncoded_goodput(0.05)
+
+
+def _observe_reference(window, decoded_bits, counts):
+    """Per-bit loop the vectorized ``observe`` must agree with."""
+    errors = values = 0
+    for bit, count in zip(decoded_bits, counts):
+        errors += window - count if bit == 1 else count
+        values += window
+    return errors, values
+
+
+class TestVectorizedObserve:
+    def test_matches_per_bit_reference(self, rng):
+        window = 84
+        for _ in range(20):
+            n = int(rng.integers(1, 200))
+            bits = rng.integers(0, 2, n)
+            counts = rng.integers(0, window + 1, n)
+            reference = LinkQualityEstimator(window=window)
+            re, rv = _observe_reference(window, bits, counts)
+            reference.observe(bits, counts)
+            assert reference._errors == re
+            assert reference._values == rv
+
+    def test_accepts_mismatched_lengths(self):
+        # A truncated decode can yield fewer counts than bits (or vice
+        # versa); only the overlapping prefix is pooled.
+        estimator = LinkQualityEstimator(window=84)
+        estimator.observe([1, 0, 1], [84, 0])
+        assert estimator.samples == 2 * 84
+        estimator.observe([], [])
+        assert estimator.samples == 2 * 84
+
+    def test_accepts_tuples_lists_and_arrays(self):
+        for bits, counts in (
+            ((1, 0), (84, 0)),
+            ([1, 0], [84, 0]),
+            (np.array([1, 0]), np.array([84, 0])),
+        ):
+            estimator = LinkQualityEstimator()
+            estimator.observe(bits, counts)
+            assert estimator.phase_error_probability == 0.0
+
+
+class TestWindowedLinkQuality:
+    def test_is_pooled_estimator_until_window_fills(self):
+        from repro.core.adaptive import WindowedLinkQuality
+
+        windowed = WindowedLinkQuality(max_frames=8)
+        pooled = LinkQualityEstimator()
+        for _ in range(5):
+            windowed.observe([1, 0], [74, 10])
+            pooled.observe([1, 0], [74, 10])
+        assert windowed.frames == 5
+        assert (
+            windowed.phase_error_probability
+            == pooled.phase_error_probability
+        )
+
+    def test_old_frames_are_evicted(self):
+        from repro.core.adaptive import WindowedLinkQuality
+
+        estimator = WindowedLinkQuality(max_frames=3)
+        # Three noisy frames, then three clean ones: the noisy evidence
+        # must age out entirely.
+        for _ in range(3):
+            estimator.observe([1], [44])
+        assert estimator.phase_error_probability > 0.4
+        for _ in range(3):
+            estimator.observe([1], [84])
+        assert estimator.frames == 3
+        assert estimator.phase_error_probability == 0.0
+
+    def test_tracks_degradation_faster_than_pooled(self):
+        from repro.core.adaptive import WindowedLinkQuality
+
+        windowed = WindowedLinkQuality(max_frames=4)
+        pooled = LinkQualityEstimator()
+        for estimator in (windowed, pooled):
+            for _ in range(40):
+                estimator.observe([1] * 8, [84] * 8)   # long clean spell
+            for _ in range(4):
+                estimator.observe([1] * 8, [50] * 8)   # sudden fade
+        assert windowed.phase_error_probability > 0.3
+        assert pooled.phase_error_probability < 0.1
+
+    def test_reset_clears_window(self):
+        from repro.core.adaptive import WindowedLinkQuality
+
+        estimator = WindowedLinkQuality(max_frames=4)
+        estimator.observe([1], [44])
+        estimator.reset()
+        assert estimator.frames == 0
+        assert estimator.samples == 0
+        assert estimator.phase_error_probability == 0.5
+
+    def test_max_frames_validation(self):
+        from repro.core.adaptive import WindowedLinkQuality
+
+        with pytest.raises(ValueError, match="positive"):
+            WindowedLinkQuality(max_frames=0)

@@ -87,3 +87,54 @@ class TestErrorRateImprovement:
         decoded, _ = hamming74_decode(coded)
         coded_ber = np.mean(decoded != data)
         assert coded_ber < 0.01
+
+
+class TestNdarrayFastPath:
+    def test_int8_ndarray_encodes_without_copy_semantics(self):
+        # The transport hot path hands numpy buffers straight in; the
+        # converter must not round-trip them through a Python list.
+        data = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.int8)
+        from repro.core.coding import _as_bit_array
+
+        assert _as_bit_array(data) is data  # astype(copy=False) no-op
+        other = _as_bit_array(np.array([1, 0], dtype=np.int64))
+        assert other.dtype == np.int8
+
+    def test_array_and_list_inputs_agree(self, rng):
+        data = rng.integers(0, 2, 32)
+        from_array = hamming74_encode(np.asarray(data, dtype=np.int8))
+        from_list = hamming74_encode(list(int(b) for b in data))
+        assert np.array_equal(from_array, from_list)
+        decoded_a, _ = hamming74_decode(from_array)
+        decoded_l, _ = hamming74_decode(list(int(b) for b in from_list))
+        assert np.array_equal(decoded_a, decoded_l)
+
+    def test_decode_does_not_mutate_input(self):
+        coded = hamming74_encode([1, 0, 1, 1])
+        coded[2] ^= 1  # inject an error
+        snapshot = coded.copy()
+        hamming74_decode(coded)
+        assert np.array_equal(coded, snapshot)
+
+
+class TestCodewordProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 16))
+    def test_random_multiblock_roundtrip(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 4 * n_blocks).astype(np.int8)
+        decoded, corrections = hamming74_decode(hamming74_encode(data))
+        assert np.array_equal(decoded, data)
+        assert corrections == 0
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 8), st.data())
+    def test_single_error_in_random_codeword_corrected(
+        self, seed, n_blocks, drawn
+    ):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 4 * n_blocks).astype(np.int8)
+        coded = hamming74_encode(data)
+        position = drawn.draw(st.integers(0, int(coded.size) - 1))
+        coded[position] ^= 1
+        decoded, corrections = hamming74_decode(coded)
+        assert np.array_equal(decoded, data)
+        assert corrections == 1

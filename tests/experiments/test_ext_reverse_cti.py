@@ -1,0 +1,41 @@
+"""Smoke tests for the reverse-CTI extension (WiFi under ZigBee)."""
+
+import math
+
+from repro.experiments.ext_reverse_cti import SIR_GRID_DB, run
+
+
+def _assert_results_equal(first, second):
+    assert first.sir_db == second.sir_db
+    assert first.detection_rate == second.detection_rate
+    for a, b in zip(first.ber_when_detected, second.ber_when_detected):
+        # NaN marks "nothing detected at this SIR"; NaN != NaN, so the
+        # dataclass == is the wrong tool here.
+        assert a == b or (math.isnan(a) and math.isnan(b))
+
+
+def test_deterministic_given_seed():
+    kwargs = dict(seed=43, sir_grid_db=(30.0, 10.0, 0.0), n_packets=4)
+    _assert_results_equal(run(**kwargs), run(**kwargs))
+
+
+def test_detection_rate_monotone_across_sir_grid():
+    # The grid walks SIR down from benign to brutal; WiFi packet
+    # detection under growing ZigBee interference must never improve.
+    result = run(seed=43, n_packets=6)
+    assert result.sir_db == SIR_GRID_DB
+    rates = result.detection_rate
+    assert all(b <= a for a, b in zip(rates, rates[1:]))
+    # ... and the sweep actually spans the cliff: clean detection at the
+    # top of the grid, none at the bottom.
+    assert rates[0] == 1.0
+    assert rates[-1] == 0.0
+
+
+def test_ber_reported_only_when_detected():
+    result = run(seed=43, n_packets=6)
+    for rate, ber in zip(result.detection_rate, result.ber_when_detected):
+        if rate == 0.0:
+            assert math.isnan(ber)
+        else:
+            assert 0.0 <= ber <= 0.5

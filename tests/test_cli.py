@@ -108,3 +108,61 @@ class TestListen:
     def test_rejects_zero_senders(self, capsys):
         assert main(["listen", "--senders", "0"]) == 2
         assert "senders" in capsys.readouterr().err
+
+
+class TestSend:
+    def test_clean_link_delivers(self, capsys):
+        assert (
+            main(
+                [
+                    "send",
+                    "--message", "hello transport",
+                    "--snr", "8",
+                    "--fec", "none",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "transport send" in out
+        assert "byte-exact" in out
+        assert "retransmits" in out
+
+    def test_fault_profile_smoke_with_telemetry(self, tmp_path, capsys):
+        out_path = tmp_path / "send.jsonl"
+        assert (
+            main(
+                [
+                    "send",
+                    "--fault-profile", "burst",
+                    "--snr", "2",
+                    "--size", "24",
+                    "--seed", "3",
+                    "--metrics-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "summary", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "transport.fragments.sent" in text
+        assert "transport.*" in text
+
+    def test_info_lists_transport_namespace(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "transport.*" in out
+
+    def test_rejects_unknown_fault_profile(self, capsys):
+        assert main(["send", "--fault-profile", "gremlins"]) == 2
+        assert "valid" in capsys.readouterr().err
+
+    def test_rejects_unknown_fec(self, capsys):
+        assert main(["send", "--fec", "turbo"]) == 2
+        assert "adaptive" in capsys.readouterr().err
+
+    def test_rejects_message_and_size_together(self, capsys):
+        assert main(["send", "--message", "x", "--size", "8"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -1,0 +1,18 @@
+"""Transport tests touch the process-wide telemetry state; restore it."""
+
+import pytest
+
+from repro.obs import REGISTRY, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    REGISTRY.disable()
+    REGISTRY.reset()
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    REGISTRY.disable()
+    REGISTRY.reset()
+    TRACER.disable()
+    TRACER.reset()

@@ -1,0 +1,101 @@
+"""FreeBee ACK side channel: record codec and impairment model."""
+
+import numpy as np
+import pytest
+
+from repro.transport.ackchannel import (
+    ACK_BITS,
+    ACK_WINDOW,
+    AckChannel,
+    AckRecord,
+)
+
+
+def _record(msg_id=5, base=3, bitmap=(1, 0, 1, 1, 0, 0, 1, 0), quality=9):
+    return AckRecord(msg_id=msg_id, base=base, bitmap=bitmap, quality=quality)
+
+
+class TestAckRecord:
+    def test_bit_round_trip(self):
+        record = _record()
+        bits = record.to_bits()
+        assert len(bits) == ACK_BITS == 30
+        assert AckRecord.from_bits(bits) == record
+
+    def test_all_field_values_round_trip(self):
+        for msg_id in (0, 15):
+            for base in (0, 63):
+                for quality in (0, 15):
+                    record = _record(msg_id=msg_id, base=base, quality=quality)
+                    assert AckRecord.from_bits(record.to_bits()) == record
+
+    def test_crc_rejects_any_single_flip(self):
+        bits = _record().to_bits()
+        for position in range(len(bits)):
+            corrupted = list(bits)
+            corrupted[position] ^= 1
+            assert AckRecord.from_bits(corrupted) is None
+
+    def test_wrong_length_rejected(self):
+        bits = _record().to_bits()
+        assert AckRecord.from_bits(bits[:-1]) is None
+        assert AckRecord.from_bits(bits + [0]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bitmap"):
+            AckRecord(msg_id=0, base=0, bitmap=(1,) * (ACK_WINDOW - 1), quality=0)
+        with pytest.raises(ValueError, match="quality"):
+            AckRecord(msg_id=0, base=0, bitmap=(0,) * ACK_WINDOW, quality=16)
+
+
+class TestAckChannel:
+    def test_duration_is_beacon_train(self):
+        channel = AckChannel()
+        # 30 bits at 2 bits/beacon = 15 beacons at 6 ms
+        assert channel.duration_s() == pytest.approx(15 * 0.006)
+
+    def test_clean_channel_delivers(self, rng):
+        channel = AckChannel()
+        delivery = channel.send(_record(), start_s=1.0, rng=rng)
+        assert delivery.record == _record()
+        assert delivery.beacons_lost == 0
+        assert delivery.arrival_s == pytest.approx(1.0 + channel.duration_s())
+
+    def test_loss_is_all_or_nothing(self, rng):
+        # One lost beacon shortens the symbol stream -> CRC kills the
+        # whole record; delivery rate is (1-p)^15, not per-bit.
+        channel = AckChannel(loss_prob=0.05)
+        outcomes = [
+            channel.send(_record(), start_s=0.0, rng=rng) for _ in range(200)
+        ]
+        delivered = [d for d in outcomes if d.record is not None]
+        lossy = [d for d in outcomes if d.beacons_lost > 0]
+        assert all(d.record == _record() for d in delivered)
+        assert all(d.record is None for d in lossy)
+        rate = len(delivered) / len(outcomes)
+        assert 0.95**15 * 0.6 < rate < 1.0
+
+    def test_heavy_jitter_breaks_decoding(self):
+        # Jitter >> shift quantum scrambles the timing symbols.
+        clean = AckChannel(jitter_sigma_s=0.0)
+        noisy = AckChannel(jitter_sigma_s=2e-3)
+        rng = np.random.default_rng(7)
+        assert clean.send(_record(), 0.0, rng).record is not None
+        broken = sum(
+            noisy.send(_record(), 0.0, np.random.default_rng(k)).record is None
+            for k in range(20)
+        )
+        assert broken >= 18
+
+    def test_blackout_window_swallows_acks(self, rng):
+        channel = AckChannel(blackouts=((0.0, 10.0),))
+        delivery = channel.send(_record(), start_s=1.0, rng=rng)
+        assert delivery.record is None
+        assert delivery.beacons_lost == delivery.beacons_sent
+        # Outside the window the same channel is clean.
+        delivery = channel.send(_record(), start_s=20.0, rng=rng)
+        assert delivery.record == _record()
+
+    def test_invalid_loss_prob_rejected(self):
+        with pytest.raises(ValueError, match="loss_prob"):
+            AckChannel(loss_prob=1.0)

@@ -1,0 +1,118 @@
+"""Selective-repeat ARQ sender: window, timers, budget, ACK intake."""
+
+import pytest
+
+from repro.transport.ackchannel import ACK_WINDOW, AckRecord
+from repro.transport.arq import ArqSender
+
+
+def _ack(msg_id=0, base=0, bitmap=(0,) * ACK_WINDOW, quality=0):
+    return AckRecord(msg_id=msg_id, base=base, bitmap=bitmap, quality=quality)
+
+
+class TestWindow:
+    def test_offers_lowest_eligible_first(self):
+        arq = ArqSender(frag_count=4, window=2)
+        assert arq.next_tx(0.0) == 0
+        arq.record_tx(0, 0.0, airtime_s=0.01)
+        assert arq.next_tx(0.0) == 1
+        arq.record_tx(1, 0.0, airtime_s=0.01)
+        # Window full, both timers armed: nothing eligible now.
+        assert arq.next_tx(0.0) is None
+
+    def test_window_blocks_new_data_beyond_base(self):
+        arq = ArqSender(frag_count=10, window=3)
+        for k in range(3):
+            arq.record_tx(k, 0.0, airtime_s=0.0)
+        # Fragment 3 is outside base..base+2 until base advances.
+        arq.on_ack(_ack(base=1), msg_id=0)
+        assert arq.base == 1
+        assert arq.next_tx(0.0) == 3
+
+    def test_retransmission_beats_new_data(self):
+        arq = ArqSender(frag_count=4, window=4, rto_s=0.1)
+        arq.record_tx(0, 0.0, airtime_s=0.0)
+        arq.record_tx(1, 0.0, airtime_s=0.0)
+        # After the timers fire, fragment 0 outranks untouched 2 and 3.
+        assert arq.next_tx(0.2) == 0
+
+
+class TestTimers:
+    def test_timer_arms_after_airtime_plus_rto(self):
+        arq = ArqSender(frag_count=1, rto_s=0.35)
+        arq.record_tx(0, 1.0, airtime_s=0.05)
+        assert arq.next_tx(1.0) is None
+        assert arq.next_tx(1.39) is None
+        assert arq.next_tx(1.41) == 0
+        assert arq.next_wakeup() == pytest.approx(1.40)
+
+    def test_wakeup_ignores_acked_and_exhausted(self):
+        arq = ArqSender(frag_count=2, max_attempts=1, rto_s=0.1)
+        arq.record_tx(0, 0.0, airtime_s=0.0)
+        arq.record_tx(1, 0.0, airtime_s=0.0)
+        arq.on_ack(_ack(base=1), msg_id=0)
+        # Fragment 0 acked, fragment 1 out of budget: no wakeup left.
+        assert arq.next_wakeup() is None
+
+
+class TestBudget:
+    def test_exhaustion_after_max_attempts(self):
+        arq = ArqSender(frag_count=1, max_attempts=3, rto_s=0.0)
+        for n in range(3):
+            assert arq.next_tx(float(n)) == 0
+            arq.record_tx(0, float(n), airtime_s=0.0)
+        assert arq.next_tx(100.0) is None
+        assert arq.exhausted
+        assert not arq.done
+
+    def test_tx_to_acked_fragment_rejected(self):
+        arq = ArqSender(frag_count=1)
+        arq.on_ack(_ack(base=1), msg_id=0)
+        with pytest.raises(ValueError, match="already acknowledged"):
+            arq.record_tx(0, 0.0, airtime_s=0.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ArqSender(frag_count=0)
+        with pytest.raises(ValueError):
+            ArqSender(frag_count=1, window=0)
+        with pytest.raises(ValueError):
+            ArqSender(frag_count=1, max_attempts=0)
+
+
+class TestAckIntake:
+    def test_cumulative_base_plus_bitmap(self):
+        arq = ArqSender(frag_count=10)
+        newly = arq.on_ack(
+            _ack(base=2, bitmap=(0, 1, 0, 1, 0, 0, 0, 0)), msg_id=0
+        )
+        assert sorted(newly) == [0, 1, 3, 5]
+        assert arq.base == 2
+        # A later cumulative ACK fills the gap and advances past the
+        # bitmap-acked indexes without re-reporting them.
+        newly = arq.on_ack(_ack(base=4), msg_id=0)
+        assert sorted(newly) == [2]
+        assert arq.base == 4  # fragment 4 itself is still missing
+
+    def test_done_when_all_acked(self):
+        arq = ArqSender(frag_count=3)
+        arq.on_ack(_ack(base=3), msg_id=0)
+        assert arq.done
+        assert arq.next_tx(0.0) is None
+
+    def test_foreign_msg_id_ignored(self):
+        arq = ArqSender(frag_count=2)
+        assert arq.on_ack(_ack(msg_id=7, base=2), msg_id=0) == []
+        assert arq.base == 0
+
+    def test_none_record_ignored(self):
+        arq = ArqSender(frag_count=2)
+        assert arq.on_ack(None, msg_id=0) == []
+
+    def test_bitmap_beyond_message_ignored(self):
+        arq = ArqSender(frag_count=3)
+        newly = arq.on_ack(
+            _ack(base=2, bitmap=(1, 1, 1, 1, 1, 1, 1, 1)), msg_id=0
+        )
+        assert sorted(newly) == [0, 1, 2]
+        assert arq.done

@@ -1,0 +1,41 @@
+"""Transport Monte-Carlo trials: worker-pool results match serial runs.
+
+The session's purpose-keyed seeding exists precisely so independent
+trials can fan out over ``repro.runtime`` worker processes; this pins
+the contract that serial and parallel execution produce identical
+:class:`TransportResult` objects, in order.
+"""
+
+from repro.obs import REGISTRY
+from repro.runtime import run_trials
+from repro.transport.faults import make_profile
+from repro.transport.session import TransportSession
+
+
+def _transport_trial(seed):
+    """Module-level (picklable) trial: one message over a bursty link."""
+    session = TransportSession(
+        snr_db=3.0,
+        seed=seed,
+        fec="adaptive",
+        fault_profile=make_profile("burst"),
+    )
+    return session.send(b"parallel equivalence")
+
+
+def test_parallel_results_match_serial():
+    seeds = list(range(4))
+    serial = run_trials(_transport_trial, seeds, jobs=1)
+    parallel = run_trials(_transport_trial, seeds, jobs=2)
+    assert serial == parallel
+    assert all(r.byte_exact for r in serial)
+
+
+def test_worker_metric_shards_merge():
+    REGISTRY.enable()
+    seeds = list(range(3))
+    run_trials(_transport_trial, seeds, jobs=2)
+    counters = REGISTRY.snapshot()["counters"]
+    assert counters["transport.messages"] == len(seeds)
+    assert counters["transport.messages.delivered"] == len(seeds)
+    assert counters["transport.fragments.sent"] > 0

@@ -1,0 +1,113 @@
+"""Adaptation policy: quality quantizer and scheme decision surface."""
+
+import pytest
+
+from repro.transport.pdu import (
+    SCHEME_CONV,
+    SCHEME_HAMMING,
+    SCHEME_NONE,
+    feasible_schemes,
+)
+from repro.transport.policy import (
+    TransportPolicy,
+    dequantize_quality,
+    quantize_quality,
+    quality_to_ber,
+)
+
+
+class TestQuantizer:
+    def test_covers_waterfall(self):
+        # Pr_eps below the waterfall is "clean"; above it saturates.
+        assert quantize_quality(0.0) == 0
+        assert quantize_quality(0.19) == 0
+        assert quantize_quality(0.49) == 15
+        assert quantize_quality(0.9) == 15
+
+    def test_monotone(self):
+        values = [quantize_quality(0.005 * k) for k in range(120)]
+        assert values == sorted(values)
+
+    def test_dequantize_inverts_to_bin(self):
+        for q in range(16):
+            pr = dequantize_quality(q)
+            assert quantize_quality(pr) == q
+        assert dequantize_quality(0) == 0.0
+
+    def test_ber_monotone_in_quality(self):
+        bers = [quality_to_ber(q) for q in range(16)]
+        assert bers == sorted(bers)
+        assert bers[0] == 0.0
+        assert bers[-1] > 0.05
+
+
+class TestDecisionSurface:
+    def test_uninformed_prior_is_strongest(self):
+        policy = TransportPolicy()
+        assert not policy.informed
+        assert policy.estimated_ber == 0.5
+        decision = policy.decide_fragmentation()
+        assert decision.scheme == SCHEME_CONV
+        assert not decision.informed
+        # Per-attempt decision likewise escalates to strongest feasible.
+        assert policy.decide_scheme(feasible_schemes(8), 8).scheme == SCHEME_CONV
+
+    def test_clean_link_runs_uncoded(self):
+        policy = TransportPolicy()
+        policy.on_quality(0)
+        decision = policy.decide_fragmentation()
+        assert decision.informed
+        assert decision.scheme == SCHEME_NONE
+        assert decision.fragment_bits == 50
+
+    def test_scheme_escalates_with_quality(self):
+        # Walking quality up the waterfall must cross none -> hamming ->
+        # conv without ever de-escalating.
+        policy = TransportPolicy()
+        schemes = []
+        for q in range(16):
+            policy.on_quality(q)
+            schemes.append(policy.decide_fragmentation().scheme)
+        assert schemes == sorted(schemes)
+        assert schemes[0] == SCHEME_NONE
+        assert SCHEME_HAMMING in schemes
+        assert schemes[-1] == SCHEME_CONV
+
+    def test_panic_region_overrides_goodput_ranking(self):
+        policy = TransportPolicy()
+        policy.on_quality(15)
+        assert policy.estimated_ber >= policy.PANIC_BER
+        assert policy.decide_fragmentation().scheme == SCHEME_CONV
+        # Even when conv no longer fits, pick the strongest that does.
+        assert (
+            policy.decide_scheme(feasible_schemes(50), 50).scheme == SCHEME_NONE
+        )
+        assert (
+            policy.decide_scheme(feasible_schemes(18), 18).scheme
+            == SCHEME_HAMMING
+        )
+
+    def test_goodputs_reported_for_all_feasible(self):
+        policy = TransportPolicy()
+        policy.on_quality(5)
+        decision = policy.decide_scheme(feasible_schemes(8), 8)
+        assert set(decision.goodputs) == {
+            SCHEME_NONE,
+            SCHEME_HAMMING,
+            SCHEME_CONV,
+        }
+        assert all(g >= 0.0 for g in decision.goodputs.values())
+
+    def test_no_feasible_scheme_raises(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            TransportPolicy().decide_scheme((), 60)
+
+    def test_success_probability_orders_schemes_under_noise(self):
+        # At a mid-waterfall BER the coded schemes must survive better
+        # than uncoded for the same payload.
+        policy = TransportPolicy()
+        ber = 0.02
+        p_none = policy._success_probability(SCHEME_NONE, 8, ber)
+        p_hamming = policy._success_probability(SCHEME_HAMMING, 8, ber)
+        p_conv = policy._success_probability(SCHEME_CONV, 8, ber)
+        assert p_none < p_hamming < p_conv <= 1.0

@@ -1,0 +1,112 @@
+"""Segmentation/reassembly: uniform fragments, marker padding, dedup."""
+
+import pytest
+
+from repro.transport.pdu import Fragment, MAX_FRAGMENTS
+from repro.transport.segmentation import (
+    Reassembler,
+    bits_to_bytes,
+    bytes_to_bits,
+    segment_message,
+    unpad_bits,
+)
+
+
+class TestBitPacking:
+    def test_round_trip(self, rng):
+        data = bytes(rng.integers(0, 256, 17, dtype="uint8"))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_empty(self):
+        assert bytes_to_bits(b"") == []
+        assert bits_to_bytes([]) == b""
+
+    def test_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_ragged_length_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            bits_to_bytes([1, 0, 1])
+
+
+class TestSegmentation:
+    @pytest.mark.parametrize("size", (0, 1, 6, 7, 48))
+    @pytest.mark.parametrize("fragment_bits", (8, 18, 50))
+    def test_round_trip(self, size, fragment_bits, rng):
+        data = bytes(rng.integers(0, 256, size, dtype="uint8"))
+        fragments = segment_message(data, msg_id=5, fragment_bits=fragment_bits)
+        assert all(len(f.payload) == fragment_bits for f in fragments)
+        assert all(f.frag_count == len(fragments) for f in fragments)
+        r = Reassembler(5, len(fragments))
+        for fragment in fragments:
+            assert r.add(fragment)
+        assert r.complete
+        assert r.message() == data
+
+    def test_fragment_count_is_minimal(self):
+        # 48 bytes + marker = 385 bits -> ceil(385/50) = 8 fragments
+        assert len(segment_message(b"\x00" * 48, 0, 50)) == 8
+        assert len(segment_message(b"", 0, 50)) == 1  # just the marker
+
+    def test_too_many_fragments_raises(self):
+        # 65 bytes at 8 bits/fragment -> 66 fragments > 64
+        with pytest.raises(ValueError, match="use a larger"):
+            segment_message(b"\x00" * 65, 0, 8)
+        assert len(segment_message(b"\x00" * 63, 0, 8)) <= MAX_FRAGMENTS
+
+    def test_bad_fragment_bits_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            segment_message(b"hi", 0, 0)
+
+    def test_unpad_detects_missing_marker(self):
+        assert unpad_bits([1, 0, 1, 1, 0, 0]) == [1, 0, 1]
+        assert unpad_bits([0, 0, 0]) is None
+        assert unpad_bits([]) is None
+
+
+class TestReassembler:
+    def _fragments(self, rng, data=b"symbee!", fragment_bits=18):
+        return segment_message(data, msg_id=2, fragment_bits=fragment_bits), data
+
+    def test_out_of_order_delivery(self, rng):
+        fragments, data = self._fragments(rng)
+        r = Reassembler(2, len(fragments))
+        for fragment in reversed(fragments):
+            r.add(fragment)
+        assert r.message() == data
+
+    def test_duplicates_counted_and_dropped(self, rng):
+        fragments, data = self._fragments(rng)
+        r = Reassembler(2, len(fragments))
+        assert r.add(fragments[0]) is True
+        assert r.add(fragments[0]) is False
+        assert r.duplicates == 1
+        for fragment in fragments[1:]:
+            r.add(fragment)
+        assert r.message() == data
+
+    def test_first_write_wins(self, rng):
+        fragments, _ = self._fragments(rng)
+        r = Reassembler(2, len(fragments))
+        r.add(fragments[0])
+        impostor = Fragment(
+            msg_id=2,
+            frag_index=0,
+            frag_count=fragments[0].frag_count,
+            payload=tuple(1 - b for b in fragments[0].payload),
+        )
+        assert r.add(impostor) is False
+        assert r.received_indexes == frozenset({0})
+
+    def test_foreign_fragment_rejected(self, rng):
+        fragments, _ = self._fragments(rng)
+        r = Reassembler(3, len(fragments))  # different msg_id
+        with pytest.raises(ValueError, match="different message"):
+            r.add(fragments[0])
+
+    def test_incomplete_message_is_none(self, rng):
+        fragments, _ = self._fragments(rng)
+        r = Reassembler(2, len(fragments))
+        r.add(fragments[0])
+        assert not r.complete
+        assert r.message() is None

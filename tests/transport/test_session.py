@@ -1,0 +1,140 @@
+"""Transport session behavior on controlled links."""
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.transport.faults import SnrRamp, make_profile
+from repro.transport.pdu import SCHEME_NAMES, SCHEME_CONV, SCHEME_NONE
+from repro.transport.session import TransportSession
+
+MESSAGE = b"hello symbee transport"
+
+
+class TestCleanLink:
+    def test_fixed_none_sends_each_fragment_once(self):
+        # On a clean high-SNR link with a working ACK channel the ARQ
+        # must not waste a single transmission.
+        session = TransportSession(snr_db=8.0, seed=1, fec="none")
+        result = session.send(MESSAGE)
+        assert result.delivered and result.byte_exact
+        assert result.n_tx == result.frag_count
+        assert result.retransmits == 0
+        assert result.goodput_bps > 0
+
+    @pytest.mark.parametrize("fec", ("none", "hamming", "conv"))
+    def test_fixed_scheme_is_honored(self, fec):
+        session = TransportSession(snr_db=8.0, seed=2, fec=fec)
+        result = session.send(b"fixed!")
+        assert result.byte_exact
+        assert set(result.scheme_counts) == {fec}
+        assert result.fec_switches == 0
+
+    def test_adaptive_starts_conservative_then_relaxes(self):
+        # Uninformed prior: strongest scheme, smallest fragments.  The
+        # first ACK's quality report should let message 2 run lighter.
+        session = TransportSession(snr_db=8.0, seed=1, fec="adaptive")
+        first = session.send(MESSAGE)
+        assert first.byte_exact
+        assert first.fragment_bits == 8
+        assert first.schedule[0].scheme == SCHEME_CONV
+        second = session.send(MESSAGE)
+        assert second.byte_exact
+        assert second.fragment_bits > first.fragment_bits
+        assert SCHEME_NAMES[SCHEME_NONE] in second.scheme_counts
+
+    def test_session_clock_is_monotone_across_messages(self):
+        session = TransportSession(snr_db=8.0, seed=5, fec="none")
+        first = session.send(b"one")
+        second = session.send(b"two")
+        assert first.elapsed_s > 0 and second.elapsed_s > 0
+        assert session._clock_s >= first.elapsed_s + second.elapsed_s
+
+    def test_schedule_is_time_ordered_ground_truth(self):
+        session = TransportSession(snr_db=8.0, seed=1, fec="none")
+        result = session.send(MESSAGE)
+        times = [tx.time_s for tx in result.schedule]
+        assert times == sorted(times)
+        assert all(tx.attempt >= 1 for tx in result.schedule)
+        indexes = {tx.frag_index for tx in result.schedule}
+        assert indexes == set(range(result.frag_count))
+
+
+class TestAdaptation:
+    def test_snr_ramp_forces_fec_switches(self):
+        # Acceptance: riding the default loss trajectory (clean -> +4 dB
+        # -> clean) the adaptive sender must change FEC scheme at least
+        # twice — down-shift into coding and back out.
+        REGISTRY.enable()
+        session = TransportSession(
+            snr_db=3.0,
+            seed=11,
+            fec="adaptive",
+            fault_profile=SnrRamp(),
+        )
+        result = session.send(bytes(range(48)))
+        assert result.delivered and result.byte_exact
+        assert result.fec_switches >= 2
+        assert len(result.scheme_counts) >= 2
+        counters = REGISTRY.snapshot()["counters"]
+        assert counters["transport.fec_switches"] == result.fec_switches
+
+    def test_quality_feedback_reaches_policy(self):
+        session = TransportSession(snr_db=8.0, seed=1, fec="adaptive")
+        assert not session.policy.informed
+        session.send(b"probe")
+        assert session.policy.informed
+
+
+class TestMetrics:
+    def test_transport_namespace_populated(self):
+        REGISTRY.enable()
+        session = TransportSession(snr_db=8.0, seed=1, fec="none")
+        result = session.send(MESSAGE)
+        snapshot = REGISTRY.snapshot()
+        counters = snapshot["counters"]
+        assert counters["transport.messages"] == 1
+        assert counters["transport.messages.delivered"] == 1
+        assert counters["transport.fragments.sent"] == result.n_tx
+        assert counters["transport.acks.sent"] == len(result.acks)
+        assert snapshot["gauges"]["transport.goodput_bps"] == pytest.approx(
+            result.goodput_bps
+        )
+        assert snapshot["histograms"]["transport.attempts"]["count"] == (
+            result.frag_count
+        )
+
+    def test_disabled_registry_records_nothing(self):
+        session = TransportSession(snr_db=8.0, seed=1, fec="none")
+        session.send(b"quiet")
+        assert "transport.messages" not in REGISTRY.snapshot()["counters"]
+
+
+class TestFailurePath:
+    def test_budget_exhaustion_reports_failure(self):
+        # An SNR so low that nothing gets through: the session must stop
+        # after the attempt budget, not spin forever.
+        session = TransportSession(
+            snr_db=-6.0, seed=3, fec="none", max_attempts=2
+        )
+        result = session.send(b"doomed")
+        assert not result.delivered
+        assert not result.byte_exact
+        assert result.n_tx <= 2 * result.frag_count
+
+    def test_failed_message_counted(self):
+        REGISTRY.enable()
+        session = TransportSession(
+            snr_db=-6.0, seed=3, fec="none", max_attempts=2
+        )
+        session.send(b"doomed")
+        counters = REGISTRY.snapshot()["counters"]
+        assert counters["transport.messages.failed"] == 1
+
+    def test_bad_fec_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown FEC scheme"):
+            TransportSession(fec="turbo")
+
+    def test_profile_description_in_registry(self):
+        profile = make_profile("burst")
+        session = TransportSession(fault_profile=profile)
+        assert session.profile.describe().startswith("burst")
