@@ -1,0 +1,158 @@
+"""Microbenchmarks for the exact/fast DSP kernel pairs (PR 5).
+
+Times each kernel pair on the streaming front end's real shapes — one
+65536-sample demux block at 20 Msps, lag 16, 21 anti-alias taps,
+decimation 4 — and writes ``BENCH_KERNELS.json`` at the repo root.
+Each measurement is the best of several repeats with GC paused, the
+same protocol as ``BENCH_PR5.json`` (single-CPU container; the minimum
+is the least-noisy estimator of the true cost).
+
+The point of the artifact is the exact-vs-fast ratio per kernel: it
+shows where the fast mode's end-to-end win actually comes from (the
+single-rounding exact ufunc chains cost 3-10x the native fused ops).
+Assertions are correctness-only plus a very soft "fast is not slower"
+floor — absolute timings belong in the JSON, not in CI pass/fail.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dsp.kernels import (
+    cmul,
+    exact_cmul,
+    exact_lagged_products,
+    fir_exact,
+    fir_fast,
+    fir_fft,
+    lagged_products,
+    polyphase_decimate_exact,
+    polyphase_decimate_fast,
+)
+from repro.stream.frontend import design_lowpass
+
+BLOCK = 65536
+LAG = 16
+NTAPS = 21
+DECIMATION = 4
+REPEATS = 30
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Minimum wall time of ``repeats`` calls, GC paused (seconds)."""
+    fn()  # warm-up: allocator, BLAS thread pools, page faults
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def _pair(name, exact_fn, fast_fn, check_close=True, rtol=1e-6):
+    """Time one exact/fast pair and sanity-check their agreement."""
+    if check_close:
+        np.testing.assert_allclose(
+            np.asarray(fast_fn(), dtype=np.complex128),
+            np.asarray(exact_fn(), dtype=np.complex128),
+            rtol=rtol,
+            atol=1e-6,
+        )
+    exact_s = _best_of(exact_fn)
+    fast_s = _best_of(fast_fn)
+    return {
+        "kernel": name,
+        "exact_us": round(exact_s * 1e6, 1),
+        "fast_us": round(fast_s * 1e6, 1),
+        "speedup": round(exact_s / fast_s, 2),
+    }
+
+
+def test_bench_kernels():
+    rng = np.random.default_rng(20260806)
+    z = rng.standard_normal(BLOCK) + 1j * rng.standard_normal(BLOCK)
+    z64 = z.astype(np.complex64)
+    taps = design_lowpass(NTAPS, 1.4e6, 20e6)
+    taps64 = taps.astype(np.complex64) if np.iscomplexobj(taps) else taps
+    long_taps = design_lowpass(129, 1.4e6, 20e6)
+    mixer = np.exp(-1j * 2.0 * np.pi * 3e6 * np.arange(BLOCK) / 20e6)
+
+    rows = [
+        _pair(
+            "lagged_products",
+            lambda: exact_lagged_products(z, LAG),
+            lambda: lagged_products(z, LAG, mode="fast"),
+        ),
+        _pair(
+            "lagged_products_c64",
+            lambda: exact_lagged_products(z, LAG),
+            lambda: lagged_products(z64, LAG, mode="fast"),
+            rtol=2e-5,
+        ),
+        _pair(
+            "mixer_cmul",
+            lambda: exact_cmul(z, mixer),
+            lambda: cmul(z, mixer, "fast"),
+        ),
+        _pair(
+            "fir_21tap",
+            lambda: fir_exact(z, taps),
+            lambda: fir_fast(z, taps),
+        ),
+        _pair(
+            "fir_129tap_fft",
+            lambda: fir_exact(z, long_taps),
+            lambda: fir_fft(z, long_taps),
+        ),
+        _pair(
+            "polyphase_decimate_d4",
+            lambda: polyphase_decimate_exact(z, taps, DECIMATION),
+            lambda: polyphase_decimate_fast(z, taps, DECIMATION),
+        ),
+        _pair(
+            "polyphase_decimate_d4_c64",
+            lambda: polyphase_decimate_exact(z, taps, DECIMATION),
+            lambda: polyphase_decimate_fast(z64, taps64, DECIMATION),
+            rtol=2e-4,
+        ),
+    ]
+
+    report = {
+        "pr": 5,
+        "protocol": {
+            "block_samples": BLOCK,
+            "lag": LAG,
+            "ntaps": NTAPS,
+            "decimation": DECIMATION,
+            "repeats": REPEATS,
+            "timer": "best-of-N wall time, gc disabled, after warm-up",
+        },
+        "kernels": rows,
+    }
+    root = Path(__file__).resolve().parent.parent
+    (root / "BENCH_KERNELS.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    print()
+    for row in rows:
+        print(
+            f"{row['kernel']:28s} exact {row['exact_us']:9.1f} us   "
+            f"fast {row['fast_us']:9.1f} us   {row['speedup']:.2f}x"
+        )
+
+    # Soft floor: on any machine, the fast path of the hot kernels must
+    # not lose to the exact path (shapes are large enough that the call
+    # overhead is irrelevant; 0.8 absorbs timer noise).
+    by_name = {row["kernel"]: row for row in rows}
+    for name in ("lagged_products", "polyphase_decimate_d4"):
+        assert by_name[name]["speedup"] > 0.8, by_name[name]

@@ -81,10 +81,13 @@ def _run_fixed_payload():
 
 
 def _timed(workload):
+    FRAME_WAVEFORM_CACHE.clear()
     workload()  # warm-up: JIT-free but fills caches and page-faults
+    warm = FRAME_WAVEFORM_CACHE.cache_info()
     t0 = time.perf_counter()
     frames, timings = workload()
     elapsed = time.perf_counter() - t0
+    final = FRAME_WAVEFORM_CACHE.cache_info()
     return {
         "frames": frames,
         "elapsed_seconds": round(elapsed, 4),
@@ -92,6 +95,15 @@ def _timed(workload):
         "stage_seconds": {
             stage: round(entry["seconds"], 4)
             for stage, entry in timings.as_dict().items()
+        },
+        # Hit/miss deltas of the *timed* pass only: the warm-up pass has
+        # already populated the cache, so a repeated-frame workload must
+        # show pure hits here and a random-payload one pure misses.
+        "waveform_cache": {
+            "hits": final["hits"] - warm["hits"],
+            "misses": final["misses"] - warm["misses"],
+            "size": final["size"],
+            "maxsize": final["maxsize"],
         },
     }
 
@@ -113,14 +125,11 @@ def test_bench_runtime_sweep():
     root = Path(__file__).resolve().parent.parent
     pr1_recorded = _previous_bench(root / "BENCH_PR1.json")
 
-    FRAME_WAVEFORM_CACHE.clear()
     random_payload = _timed(_run_random_payload)
-    FRAME_WAVEFORM_CACHE.clear()
     fixed_payload = _timed(_run_fixed_payload)
 
     # PR-2 telemetry overhead: the identical random-payload workload with
     # the metrics registry live (counters + histograms firing per frame).
-    FRAME_WAVEFORM_CACHE.clear()
     REGISTRY.enable()
     try:
         metrics_on = _timed(_run_random_payload)
@@ -146,7 +155,6 @@ def test_bench_runtime_sweep():
             },
         },
         "jobs": default_jobs(),
-        "frame_waveform_cache": FRAME_WAVEFORM_CACHE.cache_info(),
         "workload": {
             "snrs_db": list(SNRS_DB),
             "n_frames_per_snr": N_FRAMES_PER_SNR,
@@ -187,6 +195,14 @@ def test_bench_runtime_sweep():
     # Soft sanity floor only — CI machines vary; the JSON has the data.
     assert random_payload["frames"] == fixed_payload["frames"] == 200
     assert metrics_on["frames"] == 200
+    # Cache accounting (hard): the fixed-payload timed pass must run
+    # entirely out of the warm frame-waveform cache, and the random one
+    # must never hit it — otherwise the two workloads aren't measuring
+    # what their names claim.
+    assert fixed_payload["waveform_cache"]["hits"] == 200
+    assert fixed_payload["waveform_cache"]["misses"] == 0
+    assert random_payload["waveform_cache"]["hits"] == 0
+    assert random_payload["waveform_cache"]["misses"] == 200
     assert random_payload["frames_per_sec"] > 1.0
     assert fixed_payload["frames_per_sec"] >= random_payload["frames_per_sec"] * 0.8
     # Telemetry budget (soft): enabled metrics must not halve throughput.

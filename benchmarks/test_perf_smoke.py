@@ -1,0 +1,67 @@
+"""CI perf-smoke: the streaming fast path must not silently regress.
+
+A deliberately small, fast guard (one ~300 ms decode, no JSON artifact)
+that CI can afford on every push: decode a quarter of the BENCH_PR5
+workload through the headline configuration (``decimation=4``, fast
+kernels, complex64, shared channel bank) and require a conservative
+throughput floor.
+
+The floor is ~2.8x below the 8.4 Msps the reference 1-CPU container
+measures (see ``BENCH_PR5.json``), so an ordinarily loaded CI runner
+passes with a wide margin while a real regression — losing the
+decimating channelizer, the fused kernels, or the bank — drops
+throughput 2-5x past it.  Correctness rides along: the decode must
+deliver every scheduled CRC-valid frame.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.stream import StreamEngine
+
+#: Conservative Msps floor for the fast-path decode (reference: 8.4).
+FLOOR_MSPS = 3.0
+
+BLOCK_SIZE = 32768
+
+
+@pytest.mark.perf_smoke
+def test_streaming_fast_path_throughput_floor():
+    senders = [
+        StreamSender(0, zigbee_channel=11, reading_interval_s=0.008),
+        StreamSender(1, zigbee_channel=13, reading_interval_s=0.008),
+        StreamSender(2, zigbee_channel=14, reading_interval_s=0.008),
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.0125)
+    samples, truth = traffic.capture(np.random.default_rng(20260806))
+    assert truth
+
+    def decode():
+        engine = StreamEngine(
+            demux=True,
+            decimation=4,
+            mode="fast",
+            working_dtype=np.complex64,
+        )
+        return engine.run(traffic.blocks(samples, BLOCK_SIZE))
+
+    decode()  # warm-up: waveform caches, BLAS pools, page faults
+    best = float("inf")
+    frames = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        frames = decode()
+        best = min(best, time.perf_counter() - t0)
+
+    crc_ok = sum(1 for f in frames if f.crc_ok)
+    msps = samples.size / best / 1e6
+    print(f"\nfast-path smoke: {msps:.2f} Msps (floor {FLOOR_MSPS}), "
+          f"{crc_ok}/{len(truth)} frames")
+    assert crc_ok == len(truth)
+    assert msps >= FLOOR_MSPS, (
+        f"streaming fast path at {msps:.2f} Msps, floor {FLOOR_MSPS} Msps "
+        f"(reference container: 8.4; see BENCH_PR5.json)"
+    )

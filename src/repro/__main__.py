@@ -21,6 +21,104 @@ import time
 import traceback
 
 
+def _profiled(fn):
+    """Run ``fn`` under cProfile with span tracing; print both summaries.
+
+    Returns ``fn()``'s result.  The hotspot table comes from cProfile;
+    the span tree re-renders the ``repro.obs`` trace stream (enabled for
+    the duration if it was off) so the wall-clock shape of the pipeline
+    sits next to the per-function costs.
+    """
+    import cProfile
+    import pstats
+
+    from repro import obs
+    from repro.experiments.common import print_table
+
+    own_trace = not obs.TRACER.enabled
+    if own_trace:
+        obs.TRACER.reset()
+        obs.TRACER.enable()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        spans = obs.TRACER.peek()
+        if own_trace:
+            obs.TRACER.drain()
+            obs.TRACER.disable()
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    entries = sorted(
+        stats.stats.items(), key=lambda kv: kv[1][2], reverse=True
+    )
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in entries[:15]:
+        if filename == "~":
+            where = name
+        else:
+            short = filename.rsplit("/", 1)[-1]
+            where = f"{short}:{line}:{name}"
+        rows.append((nc, f"{tt:.4f}", f"{ct:.4f}", where))
+    print_table(
+        ("calls", "tottime", "cumtime", "function"),
+        rows,
+        title="profile (top 15 by internal time)",
+    )
+    _print_span_tree(spans, print_table)
+    return result
+
+
+def _print_span_tree(spans, print_table):
+    """Aggregate span records into a parent/child tree and print it."""
+    if not spans:
+        print("(no spans recorded)")
+        return
+    nodes = {}
+    for record in spans:
+        key = record["name"]
+        node = nodes.setdefault(
+            key,
+            {
+                "calls": 0,
+                "seconds": 0.0,
+                "parent": record.get("parent"),
+                "depth": record["depth"],
+            },
+        )
+        node["calls"] += 1
+        node["seconds"] += record["duration_s"]
+    children = {}
+    roots = []
+    for name, node in nodes.items():
+        parent = node["parent"]
+        if parent is not None and parent in nodes:
+            children.setdefault(parent, []).append(name)
+        else:
+            roots.append(name)
+    rows = []
+
+    def walk(name, indent):
+        node = nodes[name]
+        rows.append(
+            (
+                "  " * indent + name,
+                node["calls"],
+                f"{node['seconds']:.4f}",
+            )
+        )
+        for child in sorted(
+            children.get(name, ()), key=lambda c: -nodes[c]["seconds"]
+        ):
+            walk(child, indent + 1)
+
+    for root in sorted(roots, key=lambda r: -nodes[r]["seconds"]):
+        walk(root, 0)
+    print_table(("span", "calls", "seconds"), rows, title="span tree")
+
+
 def _cmd_list(_args):
     from repro.experiments import EXPERIMENTS
 
@@ -71,7 +169,10 @@ def _cmd_run(args):
             obs.TRACER.reset()
         obs.enable(trace=args.trace)
 
-    statuses = [_run_one(experiment) for experiment in experiments]
+    def battery():
+        return [_run_one(experiment) for experiment in experiments]
+
+    statuses = _profiled(battery) if args.profile else battery()
     failures = [s for s in statuses if s["status"] != "ok"]
 
     if record:
@@ -194,22 +295,48 @@ def _cmd_listen(args):
 
     rng = np.random.default_rng(args.seed)
     samples, truth = traffic.capture(rng)
-    engine = StreamEngine(wifi_channel=args.wifi_channel, demux=demux)
+    try:
+        engine = StreamEngine(
+            wifi_channel=args.wifi_channel,
+            demux=demux,
+            decimation=args.decimation,
+            mode=args.kernel_mode,
+            working_dtype=np.complex64 if args.float32 else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ring = RingBufferSource(capacity_blocks=args.ring_capacity)
 
+    def decode():
+        if args.jobs != 1:
+            # Parallel demux ships each channel's chain to a worker; the
+            # ring still accounts every block on its way to the batch.
+            queued = []
+            for block in traffic.blocks(samples, args.block_size):
+                ring.push(block)
+                popped = ring.pop()
+                if popped is not None:
+                    queued.append(popped)
+            ring.close()
+            queued.extend(ring)
+            return engine.run(iter(queued), jobs=args.jobs)
+        decoded = []
+        # Lock-step producer/consumer: push each block through the ring
+        # so its accounting is exercised, decode as soon as it is queued.
+        for block in traffic.blocks(samples, args.block_size):
+            ring.push(block)
+            popped = ring.pop()
+            if popped is not None:
+                decoded.extend(engine.process_block(popped))
+        ring.close()
+        for block in ring:
+            decoded.extend(engine.process_block(block))
+        decoded.extend(engine.finish())
+        return decoded
+
     t0 = time.perf_counter()
-    frames = []
-    # Lock-step producer/consumer: push each block through the ring so
-    # its accounting is exercised, decode as soon as it is queued.
-    for block in traffic.blocks(samples, args.block_size):
-        ring.push(block)
-        queued = ring.pop()
-        if queued is not None:
-            frames.extend(engine.process_block(queued))
-    ring.close()
-    for block in ring:
-        frames.extend(engine.process_block(block))
-    frames.extend(engine.finish())
+    frames = _profiled(decode) if args.profile else decode()
     elapsed = time.perf_counter() - t0
 
     # Score decoded frames against the schedule: each scheduled frame is
@@ -482,6 +609,11 @@ def build_parser():
         help="record pipeline trace spans (into --metrics-out, or a "
              "span-total table when no output path is given)",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="run the experiments under cProfile and print a hotspot "
+             "table plus the pipeline span tree",
+    )
     run.set_defaults(func=_cmd_run)
     listen = sub.add_parser(
         "listen",
@@ -532,6 +664,31 @@ def build_parser():
         "--wideband", action="store_true",
         help="single wideband session on ZigBee channel 13 instead of "
              "per-channel demux",
+    )
+    listen.add_argument(
+        "--decimation", type=int, default=None, metavar="D",
+        help="channelizer decimation factor (demux only; D must divide "
+             "the product lag — default 1, no decimation)",
+    )
+    listen.add_argument(
+        "--kernel-mode", choices=("exact", "fast"), default="exact",
+        help="DSP kernel mode: 'exact' keeps bit-exact block-size "
+             "invariance, 'fast' uses native complex kernels "
+             "(decode-equivalent; default exact)",
+    )
+    listen.add_argument(
+        "--float32", action="store_true",
+        help="complex64 working dtype (fast kernel mode only)",
+    )
+    listen.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="decode demux channels across N worker processes "
+             "(default 1, serial)",
+    )
+    listen.add_argument(
+        "--profile", action="store_true",
+        help="run the decode under cProfile and print a hotspot table "
+             "plus the pipeline span tree",
     )
     listen.add_argument(
         "--metrics-out", metavar="PATH", default=None,

@@ -75,21 +75,46 @@ class SymBeeDecoder:
         tau=None,
         tau_sync=None,
         cfo_correction=SYMBEE_STABLE_PHASE,
+        decimation=1,
     ):
         scale = sample_rate / WIFI_SAMPLE_RATE_20MHZ
         if scale not in (1.0, 2.0):
             raise ValueError("sample_rate must be 20 or 40 Msps")
         scale = int(scale)
         self.sample_rate = float(sample_rate)
-        #: Autocorrelation lag (16 at 20 Msps, 32 at 40 Msps).
-        self.lag = WIFI_AUTOCORR_LAG_20MHZ * scale
-        #: Stable-plateau window length (84 / 168).
-        self.window = SYMBEE_STABLE_WINDOW_20MHZ * scale
-        #: Phase samples between consecutive SymBee bits (640 / 1280).
-        self.bit_period = SYMBEE_BIT_PERIOD_20MHZ * scale
+        #: Front-end decimation this decoder's stream was produced at: a
+        #: decimating channelizer (``repro.stream``) hands over products
+        #: formed on a ``decimation``-times slower sub-band stream, so
+        #: every per-sample quantity below shrinks by the same factor.
+        #: Must divide the lag, window and bit period exactly (1, 2 or 4
+        #: at 20 Msps; additionally 8 at 40 Msps).
+        self.decimation = int(decimation)
+        if self.decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        lag = WIFI_AUTOCORR_LAG_20MHZ * scale
+        window = SYMBEE_STABLE_WINDOW_20MHZ * scale
+        bit_period = SYMBEE_BIT_PERIOD_20MHZ * scale
+        if any(v % self.decimation for v in (lag, window, bit_period)):
+            raise ValueError(
+                f"decimation {self.decimation} must divide the lag ({lag}), "
+                f"window ({window}) and bit period ({bit_period}); at "
+                f"{sample_rate / 1e6:g} Msps the valid factors are the "
+                f"divisors of {np.gcd.reduce([lag, window, bit_period])}"
+            )
+        #: Autocorrelation lag (16 at 20 Msps, 32 at 40 Msps), divided by
+        #: the decimation factor (the 0.8 us lag spans fewer samples).
+        self.lag = lag // self.decimation
+        #: Stable-plateau window length (84 / 168, decimation-scaled).
+        self.window = window // self.decimation
+        #: Phase samples between consecutive SymBee bits (640 / 1280,
+        #: decimation-scaled).
+        self.bit_period = bit_period // self.decimation
         #: Error tolerance of the unsynchronized detector; the paper's
         #: operating point (tau = 10 at 20 Msps) scales with the window.
-        self.tau = SYMBEE_DEFAULT_TAU * scale if tau is None else int(tau)
+        if tau is None:
+            self.tau = max(1, SYMBEE_DEFAULT_TAU * scale // self.decimation)
+        else:
+            self.tau = int(tau)
         if not 0 <= self.tau < self.window // 2:
             raise ValueError("tau must be in [0, window/2)")
         #: Majority threshold for synchronized decoding (window / 2).

@@ -119,6 +119,14 @@ class Tracer:
         self._records = []
         return records
 
+    def peek(self):
+        """Return the recorded spans without clearing the buffer.
+
+        Lets a live summary (e.g. the CLI profiler's span tree) render
+        the stream while a later ``drain`` still exports it in full.
+        """
+        return list(self._records)
+
     def totals(self):
         """Aggregate ``name -> {"calls": n, "seconds": s}`` over the buffer.
 

@@ -8,8 +8,10 @@ architecture and the block-size-invariance argument.
 """
 
 from repro.stream.engine import StreamEngine, batch_decode_stream
+from repro.stream.parallel import channel_task
 from repro.stream.frontend import (
     ChannelizerFrontEnd,
+    FastChannelBank,
     FrontEndBlock,
     StreamingFrontEnd,
     design_lowpass,
@@ -19,6 +21,7 @@ from repro.stream.session import StreamFrame, StreamSession
 
 __all__ = [
     "ChannelizerFrontEnd",
+    "FastChannelBank",
     "FrontEndBlock",
     "RingBufferSource",
     "StreamEngine",
@@ -26,5 +29,6 @@ __all__ = [
     "StreamSession",
     "StreamingFrontEnd",
     "batch_decode_stream",
+    "channel_task",
     "design_lowpass",
 ]

@@ -17,6 +17,25 @@ and feeds every incoming sample block through all of them.  Two modes:
   channels are rotationally indistinguishable — separation must happen
   in the sample domain, before the autocorrelation.
 
+The demux path has three performance controls (PR 5), all defaulting to
+the exact full-rate behaviour:
+
+* ``decimation`` — each sub-band is decimated inside the channelizer;
+  every session-side quantity (lag, window, bit period, vote taus)
+  scales through the decimation-aware
+  :class:`repro.core.decoder.SymBeeDecoder`.  The factor must divide
+  the lag, window and bit period (``gcd = 4`` at 20 Msps, so 1, 2 or 4).
+* ``mode`` — ``"exact"`` (bit-exact block-size invariance) or
+  ``"fast"`` (native kernels, mixer folded into the filter taps;
+  decode-equivalent).
+* ``run(blocks, jobs=n)`` — per-channel demux in parallel worker
+  processes through :func:`repro.runtime.executor.run_trials`: channels
+  are fully independent between the front end and arbitration, workers
+  ship per-channel frames and metric shards back, and the parent merges
+  shards in task order and arbitrates once over the complete pool, so
+  serial and parallel runs report identical frames and identical
+  ``stream.*`` metric totals.
+
 Use :func:`batch_decode_stream` as the one-shot reference: it runs the
 identical engine over the whole capture as a single block, which is what
 the block-size-invariance guarantee is measured against.
@@ -27,12 +46,14 @@ import numpy as np
 from repro.constants import WIFI_SAMPLE_RATE_20MHZ
 from repro.core.decoder import SymBeeDecoder
 from repro.core.phase import cfo_compensation_phase
+from repro.dsp.kernels import cmul, validate_mode
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
+from repro.runtime.executor import resolve_jobs, run_trials
 from repro.stream.frontend import (
     ChannelizerFrontEnd,
+    FastChannelBank,
     StreamingFrontEnd,
-    exact_cmul,
 )
 from repro.stream.ring import RingBufferSource
 from repro.stream.session import StreamSession
@@ -54,15 +75,37 @@ DEMUX_CUTOFF_HZ = 1.4e6
 
 
 class _ChannelPath:
-    """One decoded channel: its front end, rotation and session."""
+    """One decoded channel: its front end, rotation, mode and session."""
 
-    __slots__ = ("zigbee_channel", "front_end", "rotation", "session")
+    __slots__ = ("zigbee_channel", "front_end", "rotation", "mode", "session")
 
-    def __init__(self, zigbee_channel, front_end, rotation, session):
+    def __init__(self, zigbee_channel, front_end, rotation, mode, session):
         self.zigbee_channel = zigbee_channel
         self.front_end = front_end
         self.rotation = rotation
+        self.mode = mode
         self.session = session
+
+    def process_block(self, block):
+        """Feed one sample block through this channel; return its frames.
+
+        The complete per-channel chain — front end, CFO rotation,
+        session — with no engine-level bookkeeping, so parallel workers
+        can drive a path directly without double-counting the engine's
+        block/sample metrics.
+        """
+        return self.push_front_end_block(self.front_end.process(block))
+
+    def push_front_end_block(self, fe_block):
+        """Rotation + session tail of the chain, given front-end output.
+
+        Split out so :class:`~repro.stream.frontend.FastChannelBank`
+        can filter all channels at once and hand each path its block.
+        """
+        products = fe_block.products
+        if self.rotation is not None and products.size:
+            products = cmul(products, self.rotation, self.mode)
+        return self.session.push_products(products)
 
 
 class StreamEngine:
@@ -80,10 +123,29 @@ class StreamEngine:
         tau_sync=None,
         ntaps=DEMUX_NTAPS,
         cutoff_hz=DEMUX_CUTOFF_HZ,
+        decimation=None,
+        mode="exact",
+        working_dtype=None,
     ):
         self.wifi_channel = wifi_channel
         self.sample_rate = float(sample_rate)
         self.demux = bool(demux)
+        self.decimation = 1 if decimation is None else int(decimation)
+        self.mode = validate_mode(mode)
+        self.working_dtype = (
+            None if working_dtype is None else np.dtype(working_dtype)
+        )
+        if self.mode == "exact" and self.working_dtype not in (
+            None,
+            np.dtype(np.complex128),
+        ):
+            raise ValueError("exact mode requires a complex128 working dtype")
+        if not self.demux and self.decimation != 1:
+            raise ValueError(
+                "decimation requires demux=True: the wideband path has no "
+                "channelizer, so there is no anti-alias filter to decimate "
+                "behind"
+            )
         lag = int(round(self.sample_rate * 0.8e-6))
         if zigbee_channels is None:
             channels = (
@@ -100,6 +162,23 @@ class StreamEngine:
                 "+4pi/5 (Appendix B), so wideband sessions cannot tell "
                 "channels apart — use demux=True"
             )
+        #: Constructor configuration minus the channel list — what a
+        #: parallel worker needs to rebuild one single-channel engine
+        #: with identical thresholds (see :meth:`run`).
+        self._engine_kwargs = {
+            "wifi_channel": wifi_channel,
+            "sample_rate": self.sample_rate,
+            "demux": self.demux,
+            "scan_stride_bits": scan_stride_bits,
+            "capture_tau": capture_tau,
+            "tau": tau,
+            "tau_sync": tau_sync,
+            "ntaps": ntaps,
+            "cutoff_hz": cutoff_hz,
+            "decimation": self.decimation,
+            "mode": self.mode,
+            "working_dtype": self.working_dtype,
+        }
         self._paths = []
         for channel in channels:
             offset = frequency_offset_hz(channel, wifi_channel)
@@ -110,23 +189,41 @@ class StreamEngine:
                     lag,
                     ntaps=ntaps,
                     cutoff_hz=cutoff_hz,
+                    decimation=self.decimation,
+                    mode=self.mode,
+                    working_dtype=self.working_dtype,
                 )
                 # The channelized stream sits at its own baseband: the
-                # plateaus are at +-4pi/5 already, no rotation needed.
+                # plateaus are at +-4pi/5 already, no CFO rotation needed.
+                # Fast mode skips the channelizer's output-rate mixer
+                # multiply and compensates with one constant product
+                # rotation here instead (see ChannelizerFrontEnd).
                 decoder = SymBeeDecoder(
                     sample_rate=self.sample_rate,
                     tau=tau,
                     tau_sync=tau_sync,
                     cfo_correction=None,
+                    decimation=self.decimation,
                 )
-                rotation = None
+                rotation = front_end.product_rotation
+                if rotation == 1.0:
+                    rotation = None
                 # The FIR eats ntaps - 1 plateau samples, so the capture
-                # count floor must drop by as much (plus edge margin).
+                # count floor must drop by as much (plus edge margin) —
+                # in decimated-output units, rounded up so the floor is
+                # never optimistic.
                 session_tau = capture_tau
                 if session_tau is None:
-                    session_tau = min(ntaps - 1 + 8, decoder.window // 2 - 1)
+                    session_tau = min(
+                        -(-(ntaps - 1 + 8) // self.decimation),
+                        decoder.window // 2 - 1,
+                    )
             else:
-                front_end = StreamingFrontEnd(lag)
+                front_end = StreamingFrontEnd(
+                    lag,
+                    mode=self.mode,
+                    dtype=self.working_dtype or np.complex128,
+                )
                 decoder = SymBeeDecoder(
                     sample_rate=self.sample_rate,
                     tau=tau,
@@ -142,13 +239,30 @@ class StreamEngine:
                     zigbee_channel=channel,
                     front_end=front_end,
                     rotation=rotation,
+                    mode=self.mode,
                     session=StreamSession(
                         decoder,
                         zigbee_channel=channel,
                         scan_stride_bits=scan_stride_bits,
                         capture_tau=session_tau,
+                        dtype=self.working_dtype or np.complex128,
                     ),
                 )
+            )
+        #: Shared-GEMM filter bank: in a fast-mode decimating demux the
+        #: channels all buffer the same raw stream, so one stacked
+        #: matrix product filters every channel per block (serial runs
+        #: only — parallel workers own one channel each and keep the
+        #: single-channel kernel).
+        self._bank = None
+        if (
+            demux
+            and self.mode == "fast"
+            and self.decimation > 1
+            and len(self._paths) > 1
+        ):
+            self._bank = FastChannelBank(
+                [path.front_end for path in self._paths]
             )
         self.blocks_in = 0
         self.samples_in = 0
@@ -156,6 +270,9 @@ class StreamEngine:
         self.frames_suppressed = 0
         #: Emitted frames awaiting cross-session leak arbitration.
         self._pending = []
+        #: Per-channel session stats shipped back by parallel workers
+        #: (the local sessions stay idle in a parallel run).
+        self._worker_session_stats = None
 
     @property
     def zigbee_channels(self):
@@ -167,14 +284,16 @@ class StreamEngine:
 
     def process_block(self, block):
         """Feed one sample block to every channel; return decoded frames."""
-        block = np.asarray(block, dtype=np.complex128)
+        # Convert to the working dtype once, not once per channel path.
+        block = np.asarray(block, dtype=self.working_dtype or np.complex128)
         with TRACER.span("stream.block", samples=int(block.size)):
-            for path in self._paths:
-                fe_block = path.front_end.process(block)
-                products = fe_block.products
-                if path.rotation is not None and products.size:
-                    products = exact_cmul(products, path.rotation)
-                self._pending.extend(path.session.push_products(products))
+            if self._bank is not None:
+                fe_blocks = self._bank.process_block(block)
+                for path, fe_block in zip(self._paths, fe_blocks):
+                    self._pending.extend(path.push_front_end_block(fe_block))
+            else:
+                for path in self._paths:
+                    self._pending.extend(path.process_block(block))
             frames = self._release(final=False)
         self.blocks_in += 1
         self.samples_in += int(block.size)
@@ -211,6 +330,13 @@ class StreamEngine:
         has passed its end — after that no session can emit anything
         overlapping it, so the decision is final and independent of block
         boundaries.  Released frames come out sorted by stream position.
+
+        Incremental (per-block) release and one final whole-pool pass
+        decide identically: demotion keeps every overlap-connected group
+        together until all its members have arrived, and band-power
+        arbitration only ever compares frames within one group — which
+        is why the parallel path can skip incremental release entirely
+        and arbitrate once at the end.
         """
         if not self._pending:
             return []
@@ -258,26 +384,71 @@ class StreamEngine:
         released.sort(key=lambda f: (f.preamble_index, f.zigbee_channel))
         return released
 
-    def run(self, blocks):
+    def run(self, blocks, jobs=None):
         """Drain a block source (any iterable, e.g. a ring) and finish.
 
         A :class:`repro.stream.ring.RingBufferSource` iterates its queued
         blocks; for live producer/consumer interleaving, call
         :meth:`process_block` per popped block instead.
+
+        ``jobs`` (default: the ``REPRO_JOBS`` environment variable, i.e.
+        serial) fans the demux channels out across worker processes —
+        each worker runs one channel's full front-end + session chain
+        over every block, and the parent arbitrates leak suppression
+        once over the complete frame pool.  The frame list, per-session
+        stats and ``stream.*`` metric totals are identical to a serial
+        run; requires ``demux`` with more than one channel.
         """
+        jobs = resolve_jobs(jobs)
+        if jobs != 1 and self.demux and len(self._paths) > 1:
+            return self._run_parallel(blocks, jobs)
         frames = []
         for block in blocks:
             frames.extend(self.process_block(block))
         frames.extend(self.finish())
         return frames
 
+    def _run_parallel(self, blocks, jobs):
+        """Per-channel worker fan-out behind :meth:`run`."""
+        from repro.stream.parallel import channel_task
+
+        blocks = [np.asarray(block, dtype=np.complex128) for block in blocks]
+        tasks = [
+            (self._engine_kwargs, path.zigbee_channel, blocks)
+            for path in self._paths
+        ]
+        with TRACER.span(
+            "stream.run_parallel", jobs=int(jobs), channels=len(tasks)
+        ):
+            results = run_trials(channel_task, tasks, jobs=jobs, chunk_size=1)
+            self._worker_session_stats = []
+            for frames, session_stats in results:
+                self._pending.extend(frames)
+                self._worker_session_stats.append(session_stats)
+            released = self._release(final=True)
+        n_samples = int(sum(block.size for block in blocks))
+        self.blocks_in += len(blocks)
+        self.samples_in += n_samples
+        self.frames_out += len(released)
+        _BLOCKS.inc(len(blocks))
+        _SAMPLES.inc(n_samples)
+        if released:
+            _FRAMES.inc(len(released))
+        return released
+
     def stats(self):
         return {
             "mode": "demux" if self.demux else "wideband",
+            "kernel_mode": self.mode,
+            "decimation": self.decimation,
             "blocks_in": self.blocks_in,
             "samples_in": self.samples_in,
             "frames_out": self.frames_out,
-            "sessions": [path.session.stats() for path in self._paths],
+            "sessions": (
+                list(self._worker_session_stats)
+                if self._worker_session_stats is not None
+                else [path.session.stats() for path in self._paths]
+            ),
         }
 
 

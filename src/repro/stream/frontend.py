@@ -25,58 +25,44 @@ cannot be separated after the autocorrelation.  Separation has to happen
 before it: mix the 5 MHz-spaced sub-band to DC, low-pass away the other
 sub-bands, then form products on the filtered stream (which then needs
 no CFO correction at all — the channel sits at its transmit baseband).
+
+Since PR 5 the channelizer also **decimates**: each sub-band only holds
+a 2 MHz ZigBee signal, so after the low-pass nothing above ~1.4 MHz
+survives and the filtered stream can be kept at a fraction of the
+wideband rate.  The decimation factor must divide the autocorrelation
+lag, the stable window and the bit period (all multiples of 4 at
+20 Msps), so every downstream quantity scales exactly; the polyphase
+implementation evaluates the FIR *only at the kept output positions*,
+making the whole per-channel chain cost proportional to the decimated
+rate.  Two kernel modes (see :mod:`repro.dsp.kernels`): ``exact``
+(default, bit-exact block-size invariance — kept outputs are literally
+a subsample of the full-rate exact stream) and ``fast`` (native complex
+kernels, mixer folded into the filter taps, optional complex64 working
+dtype; decode-equivalent, not bit-equivalent).
 """
 
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dsp.kernels import (
+    exact_cmul,
+    exact_lagged_products,
+    lagged_products as _lagged_products,
+    polyphase_decimate,
+    validate_mode,
+)
 from repro.wifi.idle_listening import autocorrelation_metric
 
 
-def exact_cmul(a, b):
-    """Complex multiply decomposed into single-rounding real ops.
-
-    numpy's native complex-multiply kernel contracts its internal
-    multiply-adds into FMAs whose peel/remainder lanes depend on buffer
-    alignment and length, so ``a * b`` can differ by one ulp between two
-    calls over the *same* element — enough to break bit-exact block-size
-    invariance.  Real multiply/add/subtract ufuncs are each a single
-    correctly-rounded IEEE operation in every lane, so building the
-    product from them is deterministic for any blocking, alignment or
-    SIMD path.  (The result is the textbook four-multiply form, which an
-    FMA kernel does *not* reproduce — consistency, not agreement with
-    ``np.multiply``, is the point.)
-    """
-    ar, ai = a.real, a.imag
-    br, bi = b.real, b.imag
-    out = np.empty(np.broadcast_shapes(np.shape(a), np.shape(b)), dtype=np.complex128)
-    out.real = ar * br - ai * bi
-    out.imag = ar * bi + ai * br
-    return out
-
-
 def lagged_products(x, lag):
-    """Deterministic ``x[n] * conj(x[n + lag])`` (see :func:`exact_cmul`).
+    """Deterministic ``x[n] * conj(x[n + lag])`` (exact kernel).
 
-    Semantically :meth:`repro.core.decoder.SymBeeDecoder.raw_products`,
-    but decomposed into real ufunc ops so every element matches scalar
-    complex arithmetic bit-for-bit regardless of array length or
-    alignment — the property the streaming front ends' invariance
-    guarantee rests on.
+    Kept as a module-level alias of
+    :func:`repro.dsp.kernels.exact_lagged_products` — the streaming
+    subsystem's original home for it.
     """
-    lag = int(lag)
-    if lag <= 0:
-        raise ValueError("lag must be positive")
-    n = x.size - lag
-    if n <= 0:
-        return np.empty(0, dtype=np.complex128)
-    a, b = x[:n], x[lag:]
-    out = np.empty(n, dtype=np.complex128)
-    # conj folded in: (ar + j*ai) * (br - j*bi)
-    out.real = a.real * b.real + a.imag * b.imag
-    out.imag = a.imag * b.real - a.real * b.imag
-    return out
+    return exact_lagged_products(x, lag)
 
 
 @dataclass(frozen=True)
@@ -100,15 +86,19 @@ class FrontEndBlock:
 class StreamingFrontEnd:
     """Chunked autocorrelation products (and optionally the S&C metric).
 
-    Feed arbitrary-size blocks to :meth:`process`; the concatenation of
-    the returned ``products`` arrays is bit-identical to
-    ``lagged_products(whole_stream, lag)`` for any blocking, including
-    blocks shorter than the lag — every element is scalar-exact complex
-    arithmetic (see :func:`exact_cmul`), unlike numpy's FMA-contracted
+    Feed arbitrary-size blocks to :meth:`process`; in the default
+    ``exact`` mode the concatenation of the returned ``products`` arrays
+    is bit-identical to ``lagged_products(whole_stream, lag)`` for any
+    blocking, including blocks shorter than the lag — every element is
+    scalar-exact complex arithmetic (see
+    :func:`repro.dsp.kernels.exact_cmul`), unlike numpy's FMA-contracted
     native multiply whose rounding drifts with length and alignment.
+    ``fast`` mode uses the native kernel (decode-equivalent only) and
+    honours a complex64 working ``dtype``.
     """
 
-    def __init__(self, lag, window=None, compute_metric=False):
+    def __init__(self, lag, window=None, compute_metric=False, mode="exact",
+                 dtype=np.complex128):
         self.lag = int(lag)
         if self.lag <= 0:
             raise ValueError("lag must be positive")
@@ -116,25 +106,27 @@ class StreamingFrontEnd:
         if self.window <= 0:
             raise ValueError("window must be positive")
         self.compute_metric = bool(compute_metric)
+        self.mode = validate_mode(mode)
+        self.dtype = np.dtype(np.complex128 if mode == "exact" else dtype)
         #: Samples carried across block boundaries.
         self.overlap = (
             self.lag + self.window - 1 if self.compute_metric else self.lag
         )
-        self._tail = np.empty(0, dtype=np.complex128)
+        self._tail = np.empty(0, dtype=self.dtype)
         #: Total samples consumed so far.
         self.samples_in = 0
         self._products_out = 0
         self._metric_out = 0
 
     def reset(self):
-        self._tail = np.empty(0, dtype=np.complex128)
+        self._tail = np.empty(0, dtype=self.dtype)
         self.samples_in = 0
         self._products_out = 0
         self._metric_out = 0
 
     def process(self, block):
         """Consume one sample block, return the newly computable outputs."""
-        block = np.asarray(block, dtype=np.complex128)
+        block = np.asarray(block, dtype=self.dtype)
         x = np.concatenate((self._tail, block)) if self._tail.size else block
         self.samples_in += block.size
         start = self._products_out
@@ -142,11 +134,11 @@ class StreamingFrontEnd:
         total_products = max(0, self.samples_in - self.lag)
         new_products = total_products - self._products_out
         if new_products > 0:
-            prod = lagged_products(x, self.lag)
+            prod = _lagged_products(x, self.lag, self.mode)
             products = prod[prod.size - new_products :]
             self._products_out = total_products
         else:
-            products = np.empty(0, dtype=np.complex128)
+            products = np.empty(0, dtype=self.dtype)
 
         metric = corr_phase = None
         if self.compute_metric:
@@ -207,13 +199,13 @@ def _mixer_period(frequency_offset_hz, sample_rate, max_period=1 << 16):
 
 
 class ChannelizerFrontEnd:
-    """One demux sub-band: mix to DC, low-pass, then products.
+    """One demux sub-band: mix to DC, low-pass, decimate, then products.
 
-    Three implementation points keep the chain block-size invariant to
-    the last bit (plain "same formula per element" is not enough —
-    numpy's SIMD transcendentals, FMA-contracted complex multiplies and
-    ``np.convolve`` all change their exact float behaviour with array
-    length or alignment):
+    Three implementation points keep the default ``exact`` chain
+    block-size invariant to the last bit (plain "same formula per
+    element" is not enough — numpy's SIMD transcendentals,
+    FMA-contracted complex multiplies and ``np.convolve`` all change
+    their exact float behaviour with array length or alignment):
 
     * the mixer phasor is exactly periodic whenever ``f / fs`` is
       rational (every Appendix-B channel offset is a multiple of 1 MHz,
@@ -223,18 +215,36 @@ class ChannelizerFrontEnd:
       table value.  Irrational offsets fall back to a per-block
       ``np.exp`` whose SIMD-vs-scalar remainder lanes can differ by one
       ulp at block boundaries — invariance then holds only to ~1 ulp.
-    * the FIR accumulates tap-by-tap over shifted slices on the
+    * the FIR accumulates tap-by-tap over (strided) slices on the
       real/imag planes (fixed tap order) rather than via
       ``np.convolve``, whose internal summation order changes with input
       length — every filtered sample is the same fixed-order
-      accumulation for any blocking;
-    * every complex multiply goes through :func:`exact_cmul` /
-      :func:`lagged_products`, sidestepping numpy's FMA-contracted
-      complex kernel whose rounding depends on buffer alignment.
+      accumulation for any blocking.  With ``decimation > 1`` only the
+      kept outputs are ever evaluated, and each is bit-identical to the
+      corresponding full-rate output (the decimated exact stream is a
+      strict subsample of the ``decimation=1`` exact stream).
+    * every complex multiply goes through the exact kernels of
+      :mod:`repro.dsp.kernels`, sidestepping numpy's FMA-contracted
+      complex path whose rounding depends on buffer alignment.
 
-    Product coordinates are those of the *filtered* stream: the chain
-    delays the signal by the filter's ``(ntaps - 1) / 2`` group delay and
-    drops ``ntaps - 1`` priming samples, which shifts indices relative to
+    ``mode="fast"`` swaps all of the above for native kernels and folds
+    the mixer into the filter: with ``wtaps[i] = taps[ntaps-1-i] *
+    mix[i]`` the decimated output is ``mix[k] * (window_k . wtaps)``, so
+    the wideband-rate mixing pass disappears entirely.  The output-rate
+    factor ``mix[k]`` is dropped too: the mixer has linear phase, so in
+    the *product* domain it collapses to one constant,
+    ``mix[k] * conj(mix[k + lag]) = exp(+j 2 pi f lag / fs)`` — exposed
+    as :attr:`product_rotation` for the consumer to fold into its own
+    per-product rotation (fast-mode ``products`` are therefore uniformly
+    rotated by its inverse until the consumer applies it; magnitudes,
+    and hence nothing in the filter response, are affected).
+    ``working_dtype=numpy.complex64`` additionally halves memory
+    traffic.  Fast mode is decode-equivalent, not bit-equivalent.
+
+    Product coordinates are those of the *filtered, decimated* stream:
+    the chain delays the signal by the filter's ``(ntaps - 1) / 2``
+    group delay, drops ``ntaps - 1`` priming samples and keeps every
+    ``decimation``-th output, which shifts/scales indices relative to
     the wideband stream.  The preamble search recovers timing itself, so
     nothing downstream depends on the offset.
     """
@@ -246,14 +256,39 @@ class ChannelizerFrontEnd:
         lag,
         ntaps=21,
         cutoff_hz=1.4e6,
+        decimation=1,
+        mode="exact",
+        working_dtype=None,
     ):
         self.frequency_offset_hz = float(frequency_offset_hz)
         self.sample_rate = float(sample_rate)
         self.taps = design_lowpass(ntaps, cutoff_hz, sample_rate)
         self.ntaps = int(ntaps)
-        self._fir_tail = np.empty(0, dtype=np.complex128)
+        self.decimation = int(decimation)
+        if self.decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        if lag % self.decimation:
+            raise ValueError(
+                f"decimation {self.decimation} must divide the lag {lag}"
+            )
+        self.mode = validate_mode(mode)
+        if working_dtype is None:
+            self.working_dtype = np.dtype(np.complex128)
+        else:
+            self.working_dtype = np.dtype(working_dtype)
+            if self.mode == "exact" and self.working_dtype != np.complex128:
+                raise ValueError(
+                    "exact mode requires a complex128 working dtype"
+                )
+        #: Global input-sample index of the next output's FIR window
+        #: start; outputs are kept at window starts divisible by the
+        #: decimation factor, so this advances in decimation steps.
+        self._next_win = 0
+        self._buf = np.empty(0, dtype=self.working_dtype)
         self._index = 0  # global input-sample index of the next block
-        self._inner = StreamingFrontEnd(lag)
+        self._inner = StreamingFrontEnd(
+            lag // self.decimation, mode=self.mode, dtype=self.working_dtype
+        )
         period = _mixer_period(self.frequency_offset_hz, self.sample_rate)
         if period is not None:
             t = np.arange(period, dtype=np.float64)
@@ -263,63 +298,224 @@ class ChannelizerFrontEnd:
             )
         else:
             self._mixer_table = None
+        if self.mode == "fast":
+            # Mixer folded into the taps.  The mixed-and-filtered output
+            # at window start k is
+            #   y[k] = sum_i taps[ntaps-1-i] * mix[k+i] * x[k+i]
+            #        = mix[k] * sum_i (taps[ntaps-1-i] * mix[i]) * x[k+i]
+            # so dotting raw windows with wtaps[i] = taps[ntaps-1-i] *
+            # mix[i] reproduces the exact chain up to the output-rate
+            # factor mix[k] — which the product domain reduces to the
+            # constant product_rotation below, so it is never applied
+            # per sample at all.
+            i = np.arange(self.ntaps, dtype=np.float64)
+            mix_i = np.exp(
+                -1j * (2.0 * np.pi * self.frequency_offset_hz * i / self.sample_rate)
+            )
+            wtaps = self.taps[::-1] * mix_i
+            # polyphase_decimate_fast dots windows with its taps[::-1],
+            # so hand it the pre-reversed weight vector.
+            self._fast_taps = wtaps[::-1].copy()
+            if self.working_dtype == np.complex64:
+                self._fast_taps = self._fast_taps.astype(np.complex64)
+            #: What a product formed on this front end's output must be
+            #: multiplied by to match the exact mixed chain:
+            #: mix[k] * conj(mix[k + lag]) = exp(+j 2 pi f lag / fs),
+            #: constant because the mixer's phase is linear in k.
+            self.product_rotation = complex(
+                np.exp(
+                    1j
+                    * (2.0 * np.pi * self.frequency_offset_hz * lag / self.sample_rate)
+                )
+            )
+        else:
+            self._fast_taps = None
+            self.product_rotation = 1.0
 
     @property
     def samples_in(self):
         return self._index
 
     def reset(self):
-        self._fir_tail = np.empty(0, dtype=np.complex128)
+        self._buf = np.empty(0, dtype=self.working_dtype)
+        self._next_win = 0
         self._index = 0
         self._inner.reset()
 
-    def process(self, block):
-        """Consume one wideband block, return this sub-band's new products."""
-        block = np.asarray(block, dtype=np.complex128)
+    def _mix_exact(self, block):
+        """Global-index mixer multiply (the exact-mode front half)."""
         if self._mixer_table is not None:
             idx = np.arange(self._index, self._index + block.size, dtype=np.int64)
             idx %= self._mixer_table.size
-            mixed = exact_cmul(block, self._mixer_table[idx])
-        else:
-            t = np.arange(
-                self._index, self._index + block.size, dtype=np.float64
-            )
-            mixed = exact_cmul(
-                block,
-                np.exp(
-                    -1j
-                    * (
-                        2.0
-                        * np.pi
-                        * self.frequency_offset_hz
-                        * t
-                        / self.sample_rate
-                    )
-                ),
-            )
-        self._index += block.size
-        z = (
-            np.concatenate((self._fir_tail, mixed))
-            if self._fir_tail.size
-            else mixed
+            return exact_cmul(block, self._mixer_table[idx])
+        t = np.arange(self._index, self._index + block.size, dtype=np.float64)
+        return exact_cmul(
+            block,
+            np.exp(
+                -1j
+                * (2.0 * np.pi * self.frequency_offset_hz * t / self.sample_rate)
+            ),
         )
-        if z.size < self.ntaps:
-            self._fir_tail = z if z is not mixed else z.copy()
-            return self._inner.process(np.empty(0, dtype=np.complex128))
-        m = z.size - self.ntaps + 1
-        # convolve(z, taps, "valid")[k] = sum_j taps[j] * z[k + ntaps-1-j],
-        # accumulated tap-by-tap on the real/imag planes so each output
-        # element is the same fixed sequence of single-rounding real
-        # multiply-adds no matter how the stream was blocked.
-        acc_r = np.zeros(m, dtype=np.float64)
-        acc_i = np.zeros(m, dtype=np.float64)
-        for j in range(self.ntaps):
-            shift = self.ntaps - 1 - j
-            s = z[shift : shift + m]
-            acc_r += self.taps[j] * s.real
-            acc_i += self.taps[j] * s.imag
-        filtered = np.empty(m, dtype=np.complex128)
-        filtered.real = acc_r
-        filtered.imag = acc_i
-        self._fir_tail = z[z.size - (self.ntaps - 1) :].copy()
+
+    def process(self, block):
+        """Consume one wideband block, return this sub-band's new products."""
+        block = np.asarray(block, dtype=self.working_dtype)
+        if self.mode == "exact":
+            # Mix first (global-index table), buffer the mixed stream.
+            new = self._mix_exact(np.asarray(block, dtype=np.complex128))
+        else:
+            # Fast mode buffers the raw stream; the mixer rides in the
+            # folded taps, and the residual per-output factor collapses
+            # to the constant product_rotation at the product level.
+            new = block
+        self._index += block.size
+        z = np.concatenate((self._buf, new)) if self._buf.size else new
+        # The buffer always starts at global index _next_win, so window
+        # starts are local 0, D, 2D, ...
+        total = z.size - self.ntaps + 1
+        if total <= 0:
+            self._buf = z if z is not new else z.copy()
+            return self._inner.process(np.empty(0, dtype=self.working_dtype))
+        m = 1 + (total - 1) // self.decimation
+        if self.mode == "exact":
+            filtered = polyphase_decimate(z, self.taps, self.decimation, mode="exact")
+        else:
+            filtered = polyphase_decimate(
+                z, self._fast_taps, self.decimation, mode="fast"
+            )
+        consumed = m * self.decimation
+        self._next_win += consumed
+        self._buf = z[consumed:].copy()
         return self._inner.process(filtered)
+
+
+class FastChannelBank:
+    """Drive several fast-mode channelizers with one shared GEMM.
+
+    In fast mode every :class:`ChannelizerFrontEnd` of a demux bank
+    buffers the *same* raw wideband stream with the same filter length
+    and decimation factor — only the mixer-folded tap vectors (and the
+    per-channel product state) differ.  Filtering the channels one at a
+    time therefore repeats the dtype conversion, the tail concatenate,
+    the carry copy and the strided block view C times on identical
+    data.  The bank keeps one copy of that shared raw buffer and builds
+    the strided block view once per block; each channel then runs its
+    own ``(n, D) @ (D, nb)`` polyphase product against the shared view.
+
+    :meth:`process_block` is *bit-identical* to calling each front
+    end's ``process`` on the same blocks: the per-channel matrix
+    product has exactly the shape ``polyphase_decimate_fast`` issues
+    (BLAS kernels are shape-dependent, so a single stacked
+    ``(n, D) @ (D, C * nb)`` product would diverge at the ulp level
+    from the single-channel path that parallel per-channel workers
+    take), the band-sum accumulation order matches the kernel, and the
+    per-channel lagged-product state is still owned by each front end's
+    inner :class:`StreamingFrontEnd`.
+
+    Only worth it for ``decimation > 1`` (at ``D == 1`` the polyphase
+    weight matrix degenerates to one column per tap); construction
+    rejects anything but fast-mode front ends with shared geometry.
+    """
+
+    def __init__(self, front_ends):
+        front_ends = list(front_ends)
+        if len(front_ends) < 2:
+            raise ValueError("FastChannelBank needs at least two front ends")
+        first = front_ends[0]
+        for fe in front_ends:
+            if fe.mode != "fast":
+                raise ValueError("FastChannelBank requires fast-mode front ends")
+            if (
+                fe.ntaps != first.ntaps
+                or fe.decimation != first.decimation
+                or fe.working_dtype != first.working_dtype
+            ):
+                raise ValueError(
+                    "FastChannelBank front ends must share ntaps, decimation "
+                    "and working dtype"
+                )
+        if first.decimation < 2:
+            raise ValueError("FastChannelBank requires decimation >= 2")
+        self.front_ends = front_ends
+        self.ntaps = first.ntaps
+        self.decimation = first.decimation
+        self.working_dtype = first.working_dtype
+        d = self.decimation
+        nb = -(-self.ntaps // d)
+        self._nb = nb
+        # Per-channel window-dot vectors (the kernels dot windows with
+        # taps[::-1], and _fast_taps is handed to them pre-reversed)
+        # and their zero-padded (nb, D) polyphase weight matrices.  The
+        # dot vector keeps the exact memory layout the single-channel
+        # kernel uses (reversed view, or a contiguous astype copy at
+        # complex64) — BLAS dot products are stride-dependent at the
+        # ulp level, and the tails must stay bit-identical to it.
+        self._wdots = []
+        self._weights = []
+        for fe in front_ends:
+            wdot = fe._fast_taps[::-1]
+            if self.working_dtype == np.complex64:
+                wdot = wdot.astype(np.complex64)
+            self._wdots.append(wdot)
+            padded = np.zeros(nb * d, dtype=wdot.dtype)
+            padded[: self.ntaps] = wdot
+            self._weights.append(padded.reshape(nb, d))
+        self._buf = np.empty(0, dtype=self.working_dtype)
+        self._index = 0
+
+    def process_block(self, block):
+        """Filter one wideband block for every channel at once.
+
+        Returns one :class:`FrontEndBlock` per front end, in
+        construction order — the same objects each front end's own
+        ``process`` would have produced for this block sequence.
+        """
+        block = np.asarray(block, dtype=self.working_dtype)
+        self._index += block.size
+        z = np.concatenate((self._buf, block)) if self._buf.size else block
+        total = z.size - self.ntaps + 1
+        if total <= 0:
+            self._buf = z if z is not block else z.copy()
+            empty = np.empty(0, dtype=self.working_dtype)
+            return [fe._inner.process(empty) for fe in self.front_ends]
+        d = self.decimation
+        m_out = 1 + (total - 1) // d
+        outs = self._filter_all(z, m_out)
+        consumed = m_out * d
+        self._buf = z[consumed:].copy()
+        blocks = []
+        for fe, out in zip(self.front_ends, outs):
+            fe._next_win += consumed
+            fe._index = self._index
+            blocks.append(fe._inner.process(out))
+        return blocks
+
+    def _filter_all(self, z, m_out):
+        d, nb = self.decimation, self._nb
+        n_blocks = z.size // d
+        m_main = n_blocks - nb + 1
+        if m_main < 1:
+            # Too short for the block view; the per-channel kernel
+            # handles the strided fallback.
+            return [
+                polyphase_decimate(z, fe._fast_taps, d, mode="fast")
+                for fe in self.front_ends
+            ]
+        st = z.strides[0]
+        blocks = np.lib.stride_tricks.as_strided(
+            z, (n_blocks, d), (d * st, st)
+        )
+        m_main = min(m_main, m_out)
+        outs = []
+        for weight, wdot in zip(self._weights, self._wdots):
+            v = blocks @ weight.T
+            out = np.empty(m_out, dtype=v.dtype)
+            main = out[:m_main]
+            main[:] = v[:m_main, 0]
+            for b in range(1, nb):
+                main += v[b : m_main + b, b]
+            for m in range(m_main, m_out):
+                lo = m * d
+                out[m] = z[lo : lo + self.ntaps] @ wdot
+            outs.append(out)
+        return outs

@@ -1,0 +1,43 @@
+"""Per-channel demux worker for parallel :meth:`StreamEngine.run`.
+
+Demux channels are fully independent between the sample stream and the
+engine's leak arbitration: each channel's front end, CFO rotation and
+session consume the same block sequence without ever reading another
+channel's state.  So a worker process can own one channel end-to-end —
+it rebuilds a single-channel engine from the parent's constructor
+kwargs (identical filter design, decimation scaling and capture
+thresholds), drives the :class:`repro.stream.engine._ChannelPath`
+directly (bypassing engine-level block/sample counters, which the
+parent accounts once per block, not once per channel), and ships the
+emitted frames plus session stats back.
+
+The parent then arbitrates leak suppression once over the complete
+frame pool — equivalent to the serial incremental release, see
+:meth:`StreamEngine._release` — and
+:func:`repro.runtime.executor.run_trials` merges each worker's metric
+shard in task order, so serial and parallel runs report identical
+frames *and* identical ``stream.*`` / ``decoder.*`` metric totals.
+"""
+
+from repro.stream.engine import StreamEngine
+
+
+def channel_task(task):
+    """Run one demux channel over every block; module-level for pickling.
+
+    ``task`` is ``(engine_kwargs, zigbee_channel, blocks)``; returns
+    ``(frames, session_stats)``.  Frames keep their per-session
+    ``latency_products``: the worker pushes the same block sequence the
+    serial engine would, so even the block-size-dependent fields match.
+    """
+    engine_kwargs, zigbee_channel, blocks = task
+    engine = StreamEngine(zigbee_channels=[zigbee_channel], **engine_kwargs)
+    (path,) = engine._paths
+    frames = []
+    for block in blocks:
+        frames.extend(path.process_block(block))
+    frames.extend(path.session.finish())
+    return frames, path.session.stats()
+
+
+__all__ = ["channel_task"]

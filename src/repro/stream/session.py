@@ -9,12 +9,12 @@ streaming decode bit-identical to a single whole-capture call:
 * **Search** runs over deterministic scan chunks.  The session waits
   until the chunk ``[o, o + stride + span + window)`` is fully buffered
   (``o`` the scan origin, ``stride = scan_stride_bits * bit_period``,
-  ``span = (folds - 1) * bit_period``), folds it with
-  :func:`repro.core.preamble.capture_preamble`, and accepts a capture
-  only in the first ``stride`` products — later hits are re-found by the
-  next chunk, whose origin is ``o + stride`` regardless of blocking.
-  (The capture gates are slice-relative, so scanning *fixed* chunks is
-  what keeps them deterministic.)
+  ``span = (folds - 1) * bit_period``), applies the
+  :func:`repro.core.preamble.capture_preamble` gate cascade to it, and
+  accepts a capture only in the first ``stride`` products — later hits
+  are re-found by the next chunk, whose origin is ``o + stride``
+  regardless of blocking.  (The capture gates are slice-relative, so
+  scanning *fixed* chunks is what keeps them deterministic.)
 * **Header** decodes the 24 header bits as soon as their last vote
   window is buffered, validates version / type / length, and on a bogus
   header resumes searching at ``n0 + bit_period`` (one bit past the
@@ -26,6 +26,42 @@ streaming decode bit-identical to a single whole-capture call:
 ``finish()`` flushes at end-of-stream: the final partial chunk is
 scanned once (accepting any position — no later chunk will see it), and
 a capture whose frame ran off the stream is counted as partial.
+
+**The incremental scanner (PR 5).**  Scanning chunk-by-chunk through
+:func:`capture_preamble` re-derives unit phasors, fold profiles and
+window counts for every chunk — and a header reject rewinds the origin
+by one bit, so signal-dense streams re-derive the same region dozens of
+times.  The session instead maintains :class:`_DerivedStreams`: rolling,
+absolute-indexed caches of every quantity the gate cascade needs, each
+computed once per product.  The cache arithmetic is deliberately
+blocking-invariant — elementwise single-rounding ops, fixed-order fold
+sums, and prefix sums whose accumulation order is the stream order
+itself (``np.cumsum`` is a strict left fold, so continuing it from a
+running total is bit-identical to one whole-stream pass) — so cache
+slices taken at any moment contain the same floats for any push sizes.
+:meth:`StreamSession._search_scan` then evaluates the whole cascade for
+every buffered chunk in a handful of vectorized passes (count floor,
+relative coherence, concentration, cluster-peak anchor — the same
+decisions in the same order as ``capture_preamble``, including its
+outcome metrics), touching each product a constant number of times no
+matter how often header rejects rewind across it.  The windowed
+coherence/concentration sums come from prefix differences rather than
+per-chunk summation, so their last ~1e-11 (float64) differs from
+``capture_preamble``'s; the gates have 0.2 of slack and the values are
+used consistently, so decisions are deterministic and block-size
+invariant either way.
+
+**Working dtype.**  ``dtype=numpy.complex64`` (the fast kernel mode's
+optional float32 working precision) halves the memory traffic of every
+cache.  The float gate caches then carry ~1e-3 of prefix-cancellation
+error after a million products instead of ~1e-11 — still far inside the
+0.2 gate slack, but growing linearly with session length, so very long
+unbroken float32 sessions (beyond ~10^8 products) should be avoided;
+``exact`` sessions must use complex128, which is good past 10^15.  The
+integer caches (vote counts, fold-negativity counts) are exact at any
+precision; they are kept in int32, which bounds a single session at
+2^31 products (~9 days of one decimated sub-band) — beyond any test or
+bench horizon, and a deliberate trade for halved prefix traffic.
 """
 
 from dataclasses import dataclass
@@ -42,37 +78,61 @@ from repro.core.frame import (
     frame_overhead_bits,
     parse_frame_bits,
 )
-from repro.core.preamble import capture_preamble
+from repro.core.preamble import (
+    _COHERENCE,
+    _HIT,
+    _MISS_COHERENCE,
+    _MISS_CONCENTRATION,
+    _MISS_COUNT,
+    capture_preamble,
+)
 from repro.obs.metrics import REGISTRY
 
 _HEADER_BITS = 24
 
+#: Chunks evaluated per dense scan pass.  Enough to amortize the vector
+#: dispatches while scanning noise, small enough that a capture or a
+#: header-reject cycle near the origin never pays for dense statistics
+#: across everything buffered behind it.
+_SCAN_GROUP_CHUNKS = 8
 
-def _unit_phasors(decoder, chunk):
-    """Deterministic unit phasors for the preamble search.
 
-    Same semantics as :meth:`repro.core.decoder.SymBeeDecoder.unit_phasors`
-    (zero-amplitude products take the post-compensation zero-phase
-    phasor), but built from single-rounding real ufunc ops — magnitude
-    as ``sqrt(re*re + im*im)``, then one real divide per plane — so the
-    result is bit-identical no matter how the chunk's buffer happens to
-    be aligned.  numpy's reciprocal-then-complex-multiply path in the
-    core decoder is faster but rounds differently depending on SIMD
-    lane, which would leak block-size dependence into the capture
-    coherence.
+def _unit_from_products(chunk, fill):
+    """Deterministic unit phasors (zero products take ``fill``).
+
+    Magnitude as ``sqrt(re*re + im*im)`` and one real divide per plane —
+    every element is the same sequence of single-rounding real ufunc
+    ops, so the result is bit-identical no matter how the stream was
+    blocked or how the buffer happens to be aligned.  numpy's
+    reciprocal-then-complex-multiply path in the core decoder is faster
+    but rounds differently depending on SIMD lane, which would leak
+    block-size dependence into the capture coherence.  Works in the
+    chunk's own precision (complex64 in fast float32 sessions).
     """
     mag = np.sqrt(chunk.real * chunk.real + chunk.imag * chunk.imag)
     zero = mag == 0.0
     has_zero = bool(zero.any())
     if has_zero:
         mag[zero] = 1.0
-    unit = np.empty(chunk.size, dtype=np.complex128)
+    unit = np.empty(chunk.size, dtype=chunk.dtype)
     unit.real = chunk.real / mag
     unit.imag = chunk.imag / mag
     if has_zero:
-        fill = decoder.rotation
-        unit[zero] = 1.0 + 0.0j if fill is None else fill
+        unit[zero] = fill
     return unit
+
+
+def _unit_phasors(decoder, chunk):
+    """:func:`_unit_from_products` with the decoder's zero-product fill.
+
+    Same semantics as :meth:`repro.core.decoder.SymBeeDecoder.unit_phasors`
+    (zero-amplitude products take the post-compensation zero-phase
+    phasor), used for the end-of-stream partial chunk that still goes
+    through :func:`repro.core.preamble.capture_preamble` directly.
+    """
+    fill = decoder.rotation
+    return _unit_from_products(chunk, 1.0 + 0.0j if fill is None else fill)
+
 
 _FRAMES = REGISTRY.counter("stream.session.frames")
 _CRC_FAILED = REGISTRY.counter("stream.session.crc_failed")
@@ -100,10 +160,12 @@ class _StreamBuffer:
         """One past the newest buffered absolute index."""
         return self.base + self._len
 
-    def append(self, arr):
-        n = arr.size
-        if n == 0:
-            return
+    def alloc(self, n):
+        """Append ``n`` uninitialised entries, return the view to fill.
+
+        Lets producers compute straight into the buffer (cumsums, fold
+        sums) instead of building a temporary and copying it in.
+        """
         if self._start + self._len + n > self._data.size:
             if self._start:
                 # Compact trimmed space before growing.
@@ -119,8 +181,12 @@ class _StreamBuffer:
                 grown[: self._len] = self._data[: self._len]
                 self._data = grown
         lo = self._start + self._len
-        self._data[lo : lo + n] = arr
         self._len += n
+        return self._data[lo : lo + n]
+
+    def append(self, arr):
+        if arr.size:
+            self.alloc(arr.size)[:] = arr
 
     def trim(self, lo):
         """Forget everything below absolute index ``lo`` (O(1))."""
@@ -137,6 +203,145 @@ class _StreamBuffer:
             )
         a = self._start + (lo - self.base)
         return self._data[a : a + (hi - lo)]
+
+
+class _PrefixSum:
+    """Rolling prefix sums: entry ``i`` is the sum over stream ``[0, i)``.
+
+    Extending continues numpy's sequential accumulation from the stored
+    running total, which is bit-identical to a single whole-stream
+    cumsum for any chunking — float dtypes included, since ``np.cumsum``
+    is a strict left fold and seeding the chunk's first element with the
+    saved total literally resumes that fold in place.
+    Windowed sums anywhere in the stream are then two gathers and a
+    subtract, and — because every entry is a function of absolute
+    position only — they are the same values no matter how the stream
+    was pushed.  The price for floats is the usual large-prefix
+    cancellation: a window sum loses about as many digits as the prefix
+    has grown — see the module docstring for the per-dtype horizon.
+    """
+
+    def __init__(self, dtype):
+        dtype = np.dtype(dtype)
+        self._buf = _StreamBuffer(dtype)
+        self._buf.append(np.zeros(1, dtype=dtype))
+        # Running total kept outside the buffer: trimming may drop every
+        # entry (the stream can be forgotten past the newest prefix),
+        # and the continuation seed must survive that.
+        self._total = dtype.type(0)
+
+    @property
+    def end(self):
+        return self._buf.end
+
+    def extend(self, values):
+        n = values.size
+        if n == 0:
+            return
+        tail = self._buf.alloc(n)
+        tail[:] = values
+        # Seeding the first element makes the in-place cumsum the strict
+        # left fold ((total + v0) + v1) + ... — for floats, bit-identical
+        # to cumsumming the whole stream in one call (see the module
+        # docstring); for integers, exact regardless.
+        tail[0] += self._total
+        np.cumsum(tail, out=tail)
+        self._total = tail[-1]
+
+    def view(self, lo, hi):
+        return self._buf.view(lo, hi)
+
+    def trim(self, lo):
+        self._buf.trim(lo)
+
+
+class _DerivedStreams:
+    """Rolling absolute-indexed derived streams behind the scanner.
+
+    Everything the capture gate cascade and the synchronized decode
+    consume, computed once per product as the stream arrives:
+
+    * ``mask_prefix`` — prefix counts of ``product.imag >= 0`` (integer,
+      exact): any bit's vote count is one prefix difference.
+    * unit phasors (kept only far enough back to extend the profile).
+    * the circular fold profile (fixed-order sum of ``folds`` shifted
+      unit-phasor streams), immediately reduced to:
+
+      - ``count_prefix`` — prefix counts of negative fold angles
+        (the same signed-zero-aware negativity test
+        ``capture_preamble`` uses; integer, exact),
+      - ``coherence_prefix`` — prefix sums of the fold magnitude,
+      - ``concentration_prefix`` — prefix sums of the per-position
+        *unit* fold phasor (complex),
+
+      after which the profile values themselves are dropped.
+
+    All of it is blocking-invariant by construction (see the module
+    docstring), so :meth:`StreamSession._search_scan` can gate any chunk
+    from slices without re-deriving anything.  Float caches follow the
+    session's working dtype (float32 halves their traffic, at the
+    precision noted in the module docstring).
+    """
+
+    def __init__(self, decoder, folds, dtype=np.complex128):
+        self.bit_period = decoder.bit_period
+        self.window = decoder.window
+        self.folds = int(folds)
+        self.span = (self.folds - 1) * self.bit_period
+        fill = decoder.rotation
+        self._fill = 1.0 + 0.0j if fill is None else complex(fill)
+        cdtype = np.dtype(dtype)
+        rdtype = np.dtype(np.float32 if cdtype == np.complex64 else np.float64)
+        self._u = _StreamBuffer(cdtype)
+        #: One past the last stream position with a computed fold value.
+        self.profile_end = 0
+        self.mask_prefix = _PrefixSum(np.int32)
+        self.count_prefix = _PrefixSum(np.int32)
+        self.coherence_prefix = _PrefixSum(rdtype)
+        self.concentration_prefix = _PrefixSum(cdtype)
+
+    def extend(self, products):
+        if products.size:
+            self.mask_prefix.extend(products.imag >= 0.0)
+            self._u.append(_unit_from_products(products, self._fill))
+        hi = self._u.end - self.span
+        lo = self.profile_end
+        if hi <= lo:
+            return
+        bp = self.bit_period
+        if self.folds == 1:
+            prof = self._u.view(lo, hi)
+        else:
+            # Same fixed fold order as phasor_folded_profile:
+            # ((u0 + u1) + u2) + ... — elementwise, so each position's
+            # value never depends on the surrounding slice.
+            prof = self._u.view(lo, hi) + self._u.view(lo + bp, hi + bp)
+            for k in range(2, self.folds):
+                prof += self._u.view(lo + k * bp, hi + k * bp)
+        self.profile_end = hi
+        # angle(prof) < 0 without computing angles: atan2 is negative
+        # iff imag < 0, or exactly -pi for (-0.0 imag, negative real).
+        neg = prof.imag < 0.0
+        zero_imag = prof.imag == 0.0
+        if zero_imag.any():
+            neg |= np.signbit(prof.imag) & zero_imag & (prof.real < 0.0)
+        self.count_prefix.extend(neg)
+        mag = np.sqrt(prof.real * prof.real + prof.imag * prof.imag)
+        self.coherence_prefix.extend(mag)
+        np.maximum(mag, mag.dtype.type(1e-12), out=mag)
+        unit = prof  # reuse: prof is ours (fresh array when folds > 1)
+        if self.folds == 1:
+            unit = prof.copy()
+        unit.real /= mag
+        unit.imag /= mag
+        self.concentration_prefix.extend(unit)
+
+    def trim(self, lo):
+        self._u.trim(self.profile_end)
+        self.mask_prefix.trim(lo)
+        self.count_prefix.trim(lo)
+        self.coherence_prefix.trim(lo)
+        self.concentration_prefix.trim(lo)
 
 
 @dataclass(frozen=True)
@@ -192,7 +397,13 @@ class StreamFrame:
 
 
 class StreamSession:
-    """Stateful preamble/header/body decoder for one channel's stream."""
+    """Stateful preamble/header/body decoder for one channel's stream.
+
+    ``dtype`` is the working precision of the product buffer and every
+    derived cache: ``complex128`` (default, required by exact-mode
+    bit-exactness guarantees) or ``complex64`` (fast mode's float32
+    working dtype — decode-equivalent, half the memory traffic).
+    """
 
     def __init__(
         self,
@@ -203,6 +414,7 @@ class StreamSession:
         folds=SYMBEE_PREAMBLE_BITS,
         coherence_slack=0.2,
         coherence_min=0.5,
+        dtype=np.complex128,
     ):
         self.decoder = decoder
         self.zigbee_channel = zigbee_channel
@@ -210,6 +422,9 @@ class StreamSession:
         self.folds = int(folds)
         self.coherence_slack = float(coherence_slack)
         self.coherence_min = float(coherence_min)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError("dtype must be complex64 or complex128")
         if scan_stride_bits < 1:
             raise ValueError("scan_stride_bits must be >= 1")
         #: Products the search origin advances per missed chunk.
@@ -218,7 +433,12 @@ class StreamSession:
         self.span = (self.folds - 1) * decoder.bit_period
         #: Full deterministic scan-chunk length.
         self.scan_len = self.stride + self.span + decoder.window
-        self._buf = _StreamBuffer()
+        self._buf = _StreamBuffer(self.dtype)
+        self._derived = _DerivedStreams(decoder, self.folds, self.dtype)
+        #: Memoized index arrays for the scan and bit decode — their
+        #: shapes repeat every call, and arange dominates small calls.
+        self._edges_cache = {}
+        self._starts_cache = {}
         self._state = "search"
         self._origin = 0          # absolute origin of the next scan chunk
         self._n0 = 0              # absolute preamble index of current capture
@@ -235,8 +455,9 @@ class StreamSession:
 
     def push_products(self, products):
         """Consume one chunk of compensated products; return decoded frames."""
-        products = np.asarray(products, dtype=np.complex128)
+        products = np.asarray(products, dtype=self.dtype)
         self._buf.append(products)
+        self._derived.extend(products)
         self.products_in += products.size
         return self._drain(final=False)
 
@@ -250,6 +471,7 @@ class StreamSession:
             self._state = "search"
         self._origin = self._buf.end
         self._buf.trim(self._origin)
+        self._derived.trim(self._origin)
         return frames
 
     @property
@@ -284,6 +506,7 @@ class StreamSession:
         # header/body a reject can resume at n0 + bit_period, so keep n0.
         keep = self._origin if self._state == "search" else self._n0
         self._buf.trim(keep)
+        self._derived.trim(keep)
         return emitted
 
     def _advance(self, final, emitted):
@@ -297,34 +520,180 @@ class StreamSession:
     def _search(self, final):
         avail = self._buf.end - self._origin
         if avail >= self.scan_len:
-            chunk_len, accept_limit = self.scan_len, self.stride
-        elif final and avail >= self.span + self.decoder.window:
+            return self._search_scan(1 + (avail - self.scan_len) // self.stride)
+        if final and avail >= self.span + self.decoder.window:
             # Last partial chunk: nothing after it will re-scan, so
-            # accept a capture anywhere in it.
-            chunk_len, accept_limit = avail, avail
-        else:
-            return False
-        chunk = self._buf.view(self._origin, self._origin + chunk_len)
-        capture = capture_preamble(
-            None,
-            self.decoder,
-            folds=self.folds,
-            tau=self.capture_tau,
-            coherence_slack=self.coherence_slack,
-            coherence_min=self.coherence_min,
-            unit_phasors=_unit_phasors(self.decoder, chunk),
-        )
-        if capture is not None and capture.index < accept_limit:
-            self._n0 = self._origin + capture.index
-            self._data_start = self._origin + capture.data_start
-            self._coherence = capture.coherence
-            self._state = "header"
-            return True
-        if chunk_len < self.scan_len:
-            # Final partial chunk exhausted.
+            # accept a capture anywhere in it.  Rare (once per stream)
+            # and shorter than a full chunk, so it goes through the
+            # reference capture_preamble rather than the scanner; the
+            # chunk content at end-of-stream is the same for any
+            # blocking, so the outcome still is too.
+            chunk = self._buf.view(self._origin, self._origin + avail)
+            capture = capture_preamble(
+                None,
+                self.decoder,
+                folds=self.folds,
+                tau=self.capture_tau,
+                coherence_slack=self.coherence_slack,
+                coherence_min=self.coherence_min,
+                unit_phasors=_unit_phasors(
+                    self.decoder, np.asarray(chunk, dtype=np.complex128)
+                ),
+            )
+            if capture is not None:
+                self._n0 = self._origin + capture.index
+                self._data_start = self._origin + capture.data_start
+                self._coherence = capture.coherence
+                self._state = "header"
+                return True
             self._origin = self._buf.end
-            return False
-        self._origin += self.stride
+        return False
+
+    def _search_scan(self, chunks):
+        """Gate ``chunks`` consecutive buffered chunks from the caches.
+
+        Chunk-by-chunk semantics identical to handing each chunk to
+        :func:`capture_preamble` — the same cascade (count floor ->
+        relative coherence -> concentration -> cluster-peak anchor ->
+        accept only below ``stride``), the same outcome metrics — but
+        every windowed statistic is a prefix difference from
+        :class:`_DerivedStreams`: the count and coherence gates are
+        evaluated for whole *groups* of chunks in a few dense vector
+        passes, and the python loop below touches only the (rare)
+        chunks whose best candidate coherence clears the absolute
+        floor, running the concentration gate and cluster-anchor
+        arithmetic on just their slice.  Chunk ``i``'s candidate window
+        starts are ``[i * stride, i * stride + stride]`` inclusive: its
+        fold profile has exactly ``stride + 1`` window positions, so
+        the inclusive upper edge also reproduces the late hit that
+        serial scanning finds and then rejects against the accept limit
+        (chunk boundary positions are legitimately evaluated by both
+        neighbouring chunks, exactly as serial scanning does).
+
+        The dense passes run over at most ``_SCAN_GROUP_CHUNKS`` chunks
+        at a time.  Grouping cannot change any outcome — every gate is
+        a pure function of one chunk's slice and the chunk grid is
+        anchored at the origin either way — but it bounds the dense
+        work a call pays before an accept: header-reject cycles restart
+        the search just one bit period ahead, and without the cap each
+        restart would recompute dense statistics across everything
+        buffered behind the reject.
+        """
+        s = self.stride
+        w = self.decoder.window
+        folds = self.folds
+        tau = self.decoder.tau if self.capture_tau is None else int(self.capture_tau)
+        floor = w - tau
+        coh_min = self.coherence_min
+        inv_fw = 1.0 / (folds * w)
+        ninf = -np.inf
+        derived = self._derived
+        for g0 in range(0, chunks, _SCAN_GROUP_CHUNKS):
+            gn = min(_SCAN_GROUP_CHUNKS, chunks - g0)
+            o = self._origin
+            n_starts = gn * s + 1
+            cn = derived.count_prefix.view(o, o + n_starts + w)
+            counts = cn[w:] - cn[:-w]
+
+            # Per-chunk maxima via reduceat over the dense arrays:
+            # segment i covers [i*s, (i+1)*s) (the last one runs to the
+            # inclusive end of the array), and the shared right edge of
+            # the interior chunks is patched in with one extra
+            # elementwise maximum.
+            edges = self._edges_cache.get(gn)
+            if edges is None:
+                edges = np.arange(0, gn * s, s)
+                self._edges_cache[gn] = edges
+            cand_max = np.maximum(np.maximum.reduceat(counts, edges), counts[s::s])
+            has_cand = cand_max >= floor
+            if not has_cand.any():
+                _MISS_COUNT.inc(gn)
+                self._origin = o + gn * s
+                continue
+
+            cm = derived.coherence_prefix.view(o, o + n_starts + w)
+            coh = (cm[w:] - cm[:-w]) * inv_fw
+            # Two collapses make the dense pass cheap.  First, the
+            # relative threshold max(best - slack, coherence_min) is at
+            # most best whenever best >= coherence_min, so a chunk
+            # passes the coherence gate iff its best candidate clears
+            # the absolute floor.  Second, masking to candidate
+            # positions can only lower a chunk's best, so a chunk whose
+            # best over *all* positions is below the floor misses
+            # without ever building the candidate mask — the mask, the
+            # masked best, and the whole concentration stage are built
+            # per chunk below, only for the (rare) chunks that survive
+            # this pre-gate.
+            best_any = np.maximum(np.maximum.reduceat(coh, edges), coh[s::s])
+            passing = (has_cand & (best_any >= coh_min)).nonzero()[0]
+
+            def count_misses(upto):
+                """Miss metrics for non-passing chunks below ``upto``.
+
+                Passing chunks record their own outcome in the loop; a
+                chunk past an accepted one records nothing (it is
+                rescanned after the frame, exactly as serial scanning
+                would).
+                """
+                n_count = int(upto - np.count_nonzero(has_cand[:upto]))
+                n_coh = int(upto - passing.searchsorted(upto)) - n_count
+                if n_count:
+                    _MISS_COUNT.inc(n_count)
+                if n_coh:
+                    _MISS_COHERENCE.inc(n_coh)
+
+            cu = None
+            accepted = False
+            for i in passing:
+                i = int(i)
+                lo = i * s
+                sl = slice(lo, lo + s + 1)
+                coh_c = np.where(counts[sl] >= floor, coh[sl], ninf)
+                best = float(coh_c.max())
+                if best < coh_min:
+                    _MISS_COHERENCE.inc()
+                    continue
+                kept = coh_c >= max(best - self.coherence_slack, coh_min)
+                if cu is None:
+                    cu = derived.concentration_prefix.view(
+                        o, o + n_starts + w
+                    )
+                du = cu[w + lo : w + lo + s + 1] - cu[lo : lo + s + 1]
+                conc = np.sqrt(du.real * du.real + du.imag * du.imag) * (1.0 / w)
+                conc_c = np.where(kept, conc, ninf)
+                best_conc = float(conc_c.max())
+                if best_conc < 0.6:
+                    _MISS_CONCENTRATION.inc()
+                    continue
+                surv = conc_c >= max(best_conc - self.coherence_slack, 0.6)
+                cand = surv.nonzero()[0]
+                # Anchor inside the first qualifying cluster at its
+                # count peak: the leading window qualifies while still
+                # sliding onto the plateau, the peak marks the plateau
+                # proper.
+                first = int(cand[0])
+                breaks = (cand[1:] - cand[:-1] > 1).nonzero()[0]
+                cluster_end = int(cand[breaks[0]]) if breaks.size else int(cand[-1])
+                n0 = first + int(np.argmax(counts[lo + first : lo + cluster_end + 1]))
+                coherence = float(coh[lo + n0]) if surv[n0] else 1.0
+                _HIT.inc()
+                _COHERENCE.observe(coherence)
+                if n0 >= s:
+                    # Late hit: the next chunk re-finds it below its own
+                    # accept limit, exactly as serial scanning would.
+                    continue
+                count_misses(i)
+                self._origin = o + lo
+                self._n0 = self._origin + n0
+                self._data_start = self._n0 + folds * self.decoder.bit_period
+                self._coherence = coherence
+                self._state = "header"
+                accepted = True
+                break
+            if accepted:
+                return True
+            count_misses(gn)
+            self._origin = o + gn * s
         return True
 
     def _header(self, final):
@@ -408,11 +777,28 @@ class StreamSession:
         )
 
     def _decode_bits(self, start, n_bits):
-        segment = self._buf.view(start, self._bits_end(n_bits))
-        result = self.decoder.decode_synchronized_mask(
-            segment.imag >= 0.0, 0, n_bits
-        )
-        return result.bits
+        end = self._bits_end(n_bits)
+        if REGISTRY.enabled:
+            # The reference decode also feeds the vote-margin and
+            # phase-run-length diagnostics; keep them exact when anyone
+            # is looking.  The bits are identical either way — both
+            # paths threshold the same integer window counts.
+            segment = self._buf.view(start, end)
+            result = self.decoder.decode_synchronized_mask(
+                segment.imag >= 0.0, 0, n_bits
+            )
+            return result.bits
+        w = self.decoder.window
+        prefix = self._derived.mask_prefix.view(start, end + 1)
+        cached = self._starts_cache.get(n_bits)
+        if cached is None:
+            starts = self.decoder.bit_period * np.arange(n_bits, dtype=np.int64)
+            cached = (starts, starts + w)
+            self._starts_cache[n_bits] = cached
+        starts, ends = cached
+        votes = prefix[ends] - prefix[starts]
+        bits = votes >= self.decoder.tau_sync
+        return tuple(bits.astype(np.uint8).tolist())
 
     def _reject_header(self):
         self.header_rejects += 1

@@ -1,0 +1,174 @@
+"""Fast kernel mode: decode equivalence, bank bit-identity, validation.
+
+Fast mode trades the exact path's bit-reproducibility for native
+complex kernels, a mixer folded into the filter taps, and (optionally)
+a complex64 working dtype.  The contract is *decode equivalence*: on
+the same capture it must deliver the same CRC-valid payload bits as the
+exact engine, for any way the stream is cut into blocks.  On top of
+that, :class:`FastChannelBank` — the shared-buffer multi-channel filter
+used by the demux engine — must be *bit-identical* to running each
+channel's own :class:`ChannelizerFrontEnd`, which is what makes serial
+and parallel demux report identical frames and metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.zigbee.channels import frequency_offset_hz
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.stream.engine import StreamEngine
+from repro.stream.frontend import ChannelizerFrontEnd, FastChannelBank
+
+CHANNELS = (11, 13, 14)
+
+
+def _crc_ok_bits(frames):
+    return sorted(tuple(frame.bits) for frame in frames if frame.crc_ok)
+
+
+def _random_cut_run(engine, samples, rng):
+    frames = []
+    lo = 0
+    while lo < samples.size:
+        size = int(rng.integers(1, 20000))
+        frames.extend(engine.process_block(samples[lo : lo + size]))
+        lo += size
+    frames.extend(engine.finish())
+    return frames
+
+
+@pytest.fixture(scope="module")
+def demux_case():
+    senders = [
+        StreamSender(i, zigbee_channel=ch) for i, ch in enumerate(CHANNELS)
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.025)
+    samples, truth = traffic.capture(np.random.default_rng(42))
+    assert truth
+    return traffic, samples
+
+
+@pytest.fixture(scope="module")
+def exact_bits(demux_case):
+    traffic, samples = demux_case
+    engine = StreamEngine(demux=True, decimation=4)
+    bits = _crc_ok_bits(engine.run(traffic.blocks(samples, 65536)))
+    assert bits
+    return bits
+
+
+@pytest.mark.parametrize("working_dtype", (None, np.complex64))
+def test_fast_decode_equivalence_over_random_cuts(
+    demux_case, exact_bits, working_dtype
+):
+    traffic, samples = demux_case
+    rng = np.random.default_rng(7)
+    for _ in range(3):
+        engine = StreamEngine(
+            demux=True,
+            decimation=4,
+            mode="fast",
+            working_dtype=working_dtype,
+        )
+        frames = _random_cut_run(engine, samples, rng)
+        assert _crc_ok_bits(frames) == exact_bits
+
+
+def test_fast_full_rate_decode_equivalence(demux_case, exact_bits):
+    traffic, samples = demux_case
+    engine = StreamEngine(demux=True, mode="fast")
+    frames = engine.run(traffic.blocks(samples, 65536))
+    assert _crc_ok_bits(frames) == exact_bits
+
+
+def test_fast_is_self_consistent_across_cuts(demux_case):
+    # Fast mode is not bit-equivalent to exact, but it must agree with
+    # *itself* regardless of block cuts — the bank's per-window GEMM
+    # shapes are fixed, so outputs depend only on window content.
+    traffic, samples = demux_case
+    engine = StreamEngine(
+        demux=True, decimation=4, mode="fast", working_dtype=np.complex64
+    )
+    reference = [
+        f.decode_fields() for f in engine.run(traffic.blocks(samples, 65536))
+    ]
+    engine = StreamEngine(
+        demux=True, decimation=4, mode="fast", working_dtype=np.complex64
+    )
+    frames = _random_cut_run(engine, samples, np.random.default_rng(11))
+    assert [f.decode_fields() for f in frames] == reference
+
+
+def _front_ends(dtype, mode="fast", decimation=4):
+    lag = 16
+    return [
+        ChannelizerFrontEnd(
+            frequency_offset_hz(ch, 1),
+            20e6,
+            lag,
+            decimation=decimation,
+            mode=mode,
+            working_dtype=dtype,
+        )
+        for ch in CHANNELS
+    ]
+
+
+class TestFastChannelBank:
+    @pytest.mark.parametrize("dtype", (np.complex128, np.complex64))
+    def test_bit_identical_to_solo_front_ends(self, demux_case, dtype, rng):
+        _, samples = demux_case
+        samples = samples[:200_000]
+        bank_fes = _front_ends(dtype)
+        solo_fes = _front_ends(dtype)
+        bank = FastChannelBank(bank_fes)
+        lo = 0
+        while lo < samples.size:
+            size = int(rng.integers(1, 30000))
+            block = samples[lo : lo + size]
+            lo += size
+            banked = bank.process_block(block)
+            for fe, out in zip(solo_fes, banked):
+                solo = fe.process(block)
+                assert np.array_equal(solo.products, out.products)
+
+    def test_requires_two_front_ends(self):
+        with pytest.raises(ValueError):
+            FastChannelBank(_front_ends(None)[:1])
+
+    def test_requires_fast_mode(self):
+        with pytest.raises(ValueError):
+            FastChannelBank(_front_ends(None, mode="exact"))
+
+    def test_requires_decimation(self):
+        with pytest.raises(ValueError):
+            FastChannelBank(_front_ends(None, decimation=1))
+
+    def test_requires_matching_dtypes(self):
+        mixed = _front_ends(np.complex64)[:2] + _front_ends(None)[:1]
+        with pytest.raises(ValueError):
+            FastChannelBank(mixed)
+
+
+def test_product_rotation_compensates_folded_mixer(rng):
+    # Fast mode drops the output-rate mixer factor; multiplying the
+    # products by product_rotation must land them on the exact path's
+    # (up to float tolerance).
+    z = (rng.standard_normal(50_000) + 1j * rng.standard_normal(50_000))
+    exact = ChannelizerFrontEnd(
+        frequency_offset_hz(13, 1), 20e6, 16, decimation=4
+    )
+    fast = ChannelizerFrontEnd(
+        frequency_offset_hz(13, 1), 20e6, 16, decimation=4, mode="fast"
+    )
+    ref = exact.process(z).products
+    out = fast.process(z).products
+    assert out.shape == ref.shape
+    np.testing.assert_allclose(
+        out * fast.product_rotation, ref, rtol=1e-8, atol=1e-8
+    )
+
+
+def test_rejects_float32_in_exact_mode():
+    with pytest.raises(ValueError):
+        StreamEngine(demux=True, working_dtype=np.complex64)

@@ -1,0 +1,93 @@
+"""Parallel per-channel demux must be invisible in the results.
+
+``StreamEngine.run(blocks, jobs=n)`` decodes each channel in its own
+worker process.  Channels are independent between the channelizer and
+frame arbitration, workers ship frames plus metric shards back, and the
+parent merges shards in task order — so a parallel run must produce the
+*same frames* and the *same ``stream.*`` metric totals* as the serial
+engine, down to the float histogram sums.  That identity only holds
+because the serial demux bank (:class:`FastChannelBank`) is bit-exact
+with the solo per-channel front ends the workers run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.obs import REGISTRY
+from repro.stream.engine import StreamEngine
+
+
+def _decode_fields(frames):
+    return [frame.decode_fields() for frame in frames]
+
+
+def _stream_totals(snapshot):
+    """The stream.* slice of a metrics snapshot (counters + histograms)."""
+    return {
+        kind: {
+            name: value
+            for name, value in snapshot[kind].items()
+            if name.startswith("stream.")
+        }
+        for kind in ("counters", "histograms")
+    }
+
+
+@pytest.fixture(scope="module")
+def demux_case():
+    senders = [
+        StreamSender(0, zigbee_channel=11),
+        StreamSender(1, zigbee_channel=13),
+        StreamSender(2, zigbee_channel=14),
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.025)
+    samples, truth = traffic.capture(np.random.default_rng(42))
+    assert truth
+    return traffic, samples
+
+
+def _metered_run(traffic, samples, jobs, **engine_kwargs):
+    engine = StreamEngine(demux=True, **engine_kwargs)
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        frames = engine.run(traffic.blocks(samples, 65536), jobs=jobs)
+        snapshot = REGISTRY.snapshot()
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+    return frames, _stream_totals(snapshot)
+
+
+@pytest.mark.parametrize(
+    "engine_kwargs",
+    (
+        {},
+        {"decimation": 4, "mode": "fast", "working_dtype": np.complex64},
+    ),
+    ids=("exact-full-rate", "decimated-fast-f32"),
+)
+def test_parallel_matches_serial(demux_case, engine_kwargs):
+    traffic, samples = demux_case
+    serial_frames, serial_totals = _metered_run(
+        traffic, samples, jobs=None, **engine_kwargs
+    )
+    parallel_frames, parallel_totals = _metered_run(
+        traffic, samples, jobs=2, **engine_kwargs
+    )
+    assert serial_frames
+    assert _decode_fields(parallel_frames) == _decode_fields(serial_frames)
+    assert parallel_totals == serial_totals
+
+
+def test_jobs_falls_back_to_serial_for_wideband():
+    traffic = StreamTraffic(
+        [StreamSender(0, zigbee_channel=13, reading_interval_s=0.004)],
+        duration_s=0.02,
+    )
+    samples, truth = traffic.capture(np.random.default_rng(21))
+    assert truth
+    serial = StreamEngine().run(traffic.blocks(samples, 65536))
+    jobbed = StreamEngine().run(traffic.blocks(samples, 65536), jobs=2)
+    assert _decode_fields(jobbed) == _decode_fields(serial)
