@@ -1,10 +1,18 @@
 """CI perf-smoke: the streaming fast path must not silently regress.
 
-A deliberately small, fast guard (one ~300 ms decode, no JSON artifact)
-that CI can afford on every push: decode a quarter of the BENCH_PR5
-workload through the headline configuration (``decimation=4``, fast
-kernels, complex64, shared channel bank) and require a conservative
-throughput floor.
+Two small guards CI can afford on every push:
+
+* a **throughput floor** — decode a quarter of the BENCH_PR5 workload
+  through the headline configuration (``decimation=4``, fast kernels,
+  complex64, shared channel bank) and require a conservative Msps
+  floor; and
+* a **parallel trend gate** — time the same workload serial, jobs=2 and
+  jobs=4, append the Msps and Msps-per-core figures to
+  ``BENCH_SMOKE_TREND.jsonl`` (one JSON line per run, rendered by
+  ``python -m repro bench trajectory``), and fail when the pooled path
+  is slower than serial *on a machine with the cores to win* —
+  single-CPU runners record the numbers but cannot gate on them,
+  because process fan-out can only lose there.
 
 The floor is ~2.8x below the 8.4 Msps the reference 1-CPU container
 measures (see ``BENCH_PR5.json``), so an ordinarily loaded CI runner
@@ -14,7 +22,10 @@ throughput 2-5x past it.  Correctness rides along: the decode must
 deliver every scheduled CRC-valid frame.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -26,6 +37,8 @@ from repro.stream import StreamEngine
 FLOOR_MSPS = 3.0
 
 BLOCK_SIZE = 32768
+
+TREND_PATH = Path(__file__).resolve().parent.parent / "BENCH_SMOKE_TREND.jsonl"
 
 
 @pytest.mark.perf_smoke
@@ -65,3 +78,76 @@ def test_streaming_fast_path_throughput_floor():
         f"streaming fast path at {msps:.2f} Msps, floor {FLOOR_MSPS} Msps "
         f"(reference container: 8.4; see BENCH_PR5.json)"
     )
+
+
+@pytest.mark.perf_smoke
+def test_parallel_trend_gate():
+    cpu_count = os.cpu_count() or 1
+    senders = [
+        StreamSender(0, zigbee_channel=11, reading_interval_s=0.008),
+        StreamSender(1, zigbee_channel=13, reading_interval_s=0.008),
+        StreamSender(2, zigbee_channel=14, reading_interval_s=0.008),
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.0125)
+    samples, truth = traffic.capture(np.random.default_rng(20260806))
+
+    def decode(jobs=None):
+        engine = StreamEngine(
+            demux=True,
+            decimation=4,
+            mode="fast",
+            working_dtype=np.complex64,
+        )
+        return engine.run(traffic.blocks(samples, BLOCK_SIZE), jobs=jobs)
+
+    def best_msps(jobs=None, repeats=2):
+        decode(jobs)  # warm-up
+        best = float("inf")
+        frames = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            frames = decode(jobs)
+            best = min(best, time.perf_counter() - t0)
+        return samples.size / best / 1e6, frames
+
+    serial_msps, serial_frames = best_msps(repeats=3)
+    jobs2_msps, jobs2_frames = best_msps(jobs=2)
+    jobs4_msps, jobs4_frames = best_msps(jobs=4)
+
+    # Equivalence rides along with the timing: identical frame lists.
+    def fields(frames):
+        return [
+            (f.zigbee_channel, f.preamble_index, tuple(f.bits), f.crc_ok)
+            for f in frames
+        ]
+
+    assert fields(jobs2_frames) == fields(serial_frames)
+    assert fields(jobs4_frames) == fields(serial_frames)
+
+    gate = cpu_count >= 2
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": cpu_count,
+        "serial_msps": round(serial_msps, 3),
+        "jobs2_msps": round(jobs2_msps, 3),
+        "jobs4_msps": round(jobs4_msps, 3),
+        # Msps-per-core is the honest scaling figure: it divides each
+        # pooled rate by the workers it consumed.
+        "serial_msps_per_core": round(serial_msps, 3),
+        "jobs2_msps_per_core": round(jobs2_msps / 2, 3),
+        "jobs4_msps_per_core": round(jobs4_msps / 4, 3),
+        "gate_applied": gate,
+    }
+    with TREND_PATH.open("a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    print(
+        f"\ntrend: serial {serial_msps:.2f} / jobs2 {jobs2_msps:.2f} / "
+        f"jobs4 {jobs4_msps:.2f} Msps on {cpu_count} cpu(s), "
+        f"gate {'on' if gate else 'off'} -> {TREND_PATH.name}"
+    )
+
+    if gate:
+        # On real cores the pool must not lose to serial; 10% noise
+        # allowance keeps a loaded runner from flaking while a real
+        # pool regression (ratio well under 1) still fails.
+        assert jobs2_msps >= serial_msps * 0.9, entry

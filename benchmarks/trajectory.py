@@ -1,0 +1,12 @@
+"""Runnable wrapper for the BENCH_* artifact aggregator.
+
+    PYTHONPATH=src python benchmarks/trajectory.py [--root DIR]
+
+The implementation lives in :mod:`repro.bench.trajectory` so the CLI
+(``python -m repro bench trajectory``) shares it.
+"""
+
+from repro.bench.trajectory import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -308,29 +308,25 @@ def _cmd_listen(args):
         return 2
     ring = RingBufferSource(capacity_blocks=args.ring_capacity)
 
-    def decode():
-        if args.jobs != 1:
-            # Parallel demux ships each channel's chain to a worker; the
-            # ring still accounts every block on its way to the batch.
-            queued = []
-            for block in traffic.blocks(samples, args.block_size):
-                ring.push(block)
-                popped = ring.pop()
-                if popped is not None:
-                    queued.append(popped)
-            ring.close()
-            queued.extend(ring)
-            return engine.run(iter(queued), jobs=args.jobs)
-        decoded = []
-        # Lock-step producer/consumer: push each block through the ring
-        # so its accounting is exercised, decode as soon as it is queued.
+    def ring_feed():
+        # Lock-step producer/consumer: every block passes through the
+        # ring on its way to the engine so overrun accounting stays
+        # live.  As a generator this also pipelines the parallel path —
+        # the pool publishes each block while workers chew on earlier
+        # ones, instead of materializing the capture first.
         for block in traffic.blocks(samples, args.block_size):
             ring.push(block)
             popped = ring.pop()
             if popped is not None:
-                decoded.extend(engine.process_block(popped))
+                yield popped
         ring.close()
-        for block in ring:
+        yield from ring
+
+    def decode():
+        if args.jobs != 1:
+            return engine.run(ring_feed(), jobs=args.jobs)
+        decoded = []
+        for block in ring_feed():
             decoded.extend(engine.process_block(block))
         decoded.extend(engine.finish())
         return decoded
@@ -383,6 +379,18 @@ def _cmd_listen(args):
         f"processed {samples.size} samples in {elapsed:.3f} s "
         f"({msps:.1f} Msps, {realtime:.2f}x realtime)"
     )
+    if args.pool_stats:
+        pool = engine.pool_stats
+        if pool is None:
+            print(
+                "(no worker-pool stats: decode ran serial)", file=sys.stderr
+            )
+        else:
+            print_table(
+                ("stat", "value"),
+                [(key, str(value)) for key, value in sorted(pool.items())],
+                title="worker pool",
+            )
 
     if record:
         obs.disable()
@@ -515,6 +523,12 @@ def _cmd_send(args):
             print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
 
     return 0 if result.byte_exact else 1
+
+
+def _cmd_bench_trajectory(args):
+    from repro.bench.trajectory import print_trajectory
+
+    return print_trajectory(args.root)
 
 
 def _cmd_survey(_args):
@@ -686,6 +700,11 @@ def build_parser():
              "(default 1, serial)",
     )
     listen.add_argument(
+        "--pool-stats", action="store_true",
+        help="print worker-pool transport stats after a --jobs decode "
+             "(blocks published, shared bytes, peak in-flight segments)",
+    )
+    listen.add_argument(
         "--profile", action="store_true",
         help="run the decode under cProfile and print a hotspot table "
              "plus the pipeline span tree",
@@ -758,6 +777,17 @@ def build_parser():
         help="record transport trace spans (into --metrics-out)",
     )
     send.set_defaults(func=_cmd_send)
+    bench = sub.add_parser("bench", help="benchmark artifact tooling")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    trajectory = bench_sub.add_parser(
+        "trajectory",
+        help="aggregate every BENCH_*.json into one cross-PR report",
+    )
+    trajectory.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the artifacts (default: cwd)",
+    )
+    trajectory.set_defaults(func=_cmd_bench_trajectory)
     sub.add_parser("survey", help="scenario site survey").set_defaults(
         func=_cmd_survey
     )

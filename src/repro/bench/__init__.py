@@ -1,0 +1,11 @@
+"""Benchmark artifact tooling: cross-PR trajectory aggregation.
+
+The acceptance benchmarks under ``benchmarks/`` each write a
+``BENCH_*.json`` artifact at the repo root; :mod:`repro.bench.trajectory`
+reads them all back and renders the performance story across PRs
+(``python -m repro bench trajectory``).
+"""
+
+from repro.bench.trajectory import collect_artifacts, print_trajectory
+
+__all__ = ["collect_artifacts", "print_trajectory"]

@@ -1,0 +1,200 @@
+"""Aggregate every ``BENCH_*.json`` artifact into one trajectory view.
+
+Each perf PR records its acceptance numbers in a schema shaped around
+that PR's claim — link-level frames/sec (PR 1-2), streaming Msps
+(PR 3+), transport goodput (PR 4) — so this reader does not demand a
+common schema.  It walks each artifact for the throughput-like leaves
+(``effective_msps`` with its sibling ``x_realtime``, ``frames_per_sec``,
+``goodput_bps``) and renders two views:
+
+* a **trajectory table** — the best streaming throughput per artifact,
+  in artifact order, so the PR-over-PR arc is one glance; and
+* a **detail table** — every throughput leaf with its config path.
+
+When ``BENCH_SMOKE_TREND.jsonl`` exists (appended by the CI perf-smoke
+trend gate), its most recent entries are shown as well.
+
+Numbers from different artifacts were recorded in different sessions on
+shared hosts; cross-artifact ratios are indicative only.  The
+authoritative speedups are the same-run baselines *inside* each
+artifact.
+"""
+
+import json
+from pathlib import Path
+
+#: Leaf keys treated as throughput figures, with display units.
+_THROUGHPUT_KEYS = {
+    "effective_msps": "Msps",
+    "frames_per_sec": "frames/s",
+    "goodput_bps": "bps",
+}
+
+#: Trend file appended by the CI perf-smoke gate.
+TREND_FILENAME = "BENCH_SMOKE_TREND.jsonl"
+
+
+def _walk_throughput(obj, path=()):
+    """Yield ``(config_path, key, value, siblings)`` throughput leaves."""
+    if not isinstance(obj, dict):
+        return
+    for key, value in obj.items():
+        if isinstance(value, dict):
+            yield from _walk_throughput(value, path + (key,))
+        elif key in _THROUGHPUT_KEYS and isinstance(value, (int, float)):
+            yield path, key, float(value), obj
+
+
+def collect_artifacts(root):
+    """Read every ``BENCH_*.json`` under ``root`` (non-recursive).
+
+    Returns a list of ``{"name", "path", "data", "leaves"}`` dicts in
+    name order, where ``leaves`` is the flat throughput-leaf list from
+    :func:`_walk_throughput`.  Unreadable files are skipped with a
+    ``"error"`` entry instead of ``"data"`` so the report can say so.
+    """
+    artifacts = []
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        entry = {"name": path.stem, "path": path}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            entry["error"] = str(error)
+            entry["leaves"] = []
+        else:
+            entry["data"] = data
+            entry["leaves"] = list(_walk_throughput(data))
+        artifacts.append(entry)
+    return artifacts
+
+
+def _best_streaming(artifact):
+    """Best ``effective_msps`` leaf of one artifact, or ``None``."""
+    best = None
+    for path, key, value, siblings in artifact["leaves"]:
+        if key != "effective_msps":
+            continue
+        # Recorded prior-PR rows carried alongside for reference are not
+        # this artifact's own measurement.
+        if any(part.startswith("recorded_") for part in path):
+            continue
+        if best is None or value > best[1]:
+            best = (path, value, siblings)
+    return best
+
+
+def read_trend(root, last=8):
+    """Most recent perf-smoke trend entries (empty when none recorded)."""
+    trend_path = Path(root) / TREND_FILENAME
+    if not trend_path.exists():
+        return []
+    entries = []
+    for line in trend_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except ValueError:
+            continue
+    return entries[-last:]
+
+
+def print_trajectory(root=".", print_fn=print):
+    """Render the full trajectory report for ``root``; returns 0/1.
+
+    Returns 1 (and says so) when no artifacts exist — a CI checkout
+    without recorded benchmarks is a report-worthy state, not a crash.
+    """
+    from repro.experiments.common import print_table
+
+    artifacts = collect_artifacts(root)
+    if not artifacts:
+        print_fn(f"no BENCH_*.json artifacts under {Path(root).resolve()}")
+        return 1
+
+    rows = []
+    for artifact in artifacts:
+        if "error" in artifact:
+            rows.append((artifact["name"], "(unreadable)", "-", "-"))
+            continue
+        best = _best_streaming(artifact)
+        if best is None:
+            rows.append((artifact["name"], "(no streaming rows)", "-", "-"))
+            continue
+        path, value, siblings = best
+        realtime = siblings.get("x_realtime")
+        rows.append(
+            (
+                artifact["name"],
+                "/".join(path) or "(top level)",
+                f"{value:.3f}",
+                f"{realtime:.4f}" if realtime is not None else "-",
+            )
+        )
+    print_table(
+        ("artifact", "best streaming config", "Msps", "x realtime"),
+        rows,
+        title="streaming throughput trajectory (best per artifact)",
+    )
+
+    detail_rows = []
+    for artifact in artifacts:
+        for path, key, value, _siblings in artifact["leaves"]:
+            detail_rows.append(
+                (
+                    artifact["name"],
+                    "/".join(path) or "(top level)",
+                    f"{value:g}",
+                    _THROUGHPUT_KEYS[key],
+                )
+            )
+    if detail_rows:
+        print_table(
+            ("artifact", "config", "value", "unit"),
+            detail_rows,
+            title="all recorded throughput figures",
+        )
+
+    trend = read_trend(root)
+    if trend:
+        trend_rows = [
+            (
+                str(entry.get("recorded_at", "-")),
+                str(entry.get("cpu_count", "-")),
+                f"{entry['serial_msps']:.2f}"
+                if "serial_msps" in entry
+                else "-",
+                f"{entry['jobs2_msps']:.2f}" if "jobs2_msps" in entry else "-",
+                f"{entry['jobs4_msps']:.2f}" if "jobs4_msps" in entry else "-",
+            )
+            for entry in trend
+        ]
+        print_table(
+            ("recorded", "cpus", "serial Msps", "jobs=2", "jobs=4"),
+            trend_rows,
+            title=f"perf-smoke trend (last {len(trend)} of {TREND_FILENAME})",
+        )
+
+    print_fn(
+        "note: artifacts were recorded in separate sessions; compare "
+        "ratios within an artifact, not across them."
+    )
+    return 0
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Aggregate BENCH_*.json artifacts into one report"
+    )
+    parser.add_argument(
+        "--root", default=".", help="directory holding the artifacts"
+    )
+    args = parser.parse_args(argv)
+    return print_trajectory(args.root)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

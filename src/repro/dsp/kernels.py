@@ -117,6 +117,77 @@ def lagged_products(x, lag, mode="exact"):
     return x[:n] * np.conjugate(x[lag:])
 
 
+def stream_lagged_products(x_new, carry, lag, mode="fast"):
+    """Continue ``p[n] = x[n] * conj(x[n + lag])`` across a block boundary.
+
+    The stream so far ends with ``carry`` (its last ``min(lag, total)``
+    samples, every earlier product already emitted) and now grows by
+    ``x_new``.  Returns ``(products, new_carry)`` where ``products`` are
+    exactly the newly computable outputs, in stream order, and
+    ``new_carry`` is the updated tail (always an owned copy, never a
+    view into ``x_new`` — callers may hand in borrowed blocks, e.g.
+    shared-memory views).
+
+    This is the streaming front ends' inner loop fused into one kernel
+    call: the seam products (pairs straddling the boundary, at most
+    ``lag`` of them) read ``carry`` directly and the interior products
+    read ``x_new`` in place, so the per-block
+    ``concatenate(tail, block)`` pass — a full copy of every sample just
+    to make the pairing contiguous — disappears.  Element values are
+    unchanged: both kernel modes compute each product elementwise from
+    the same two samples as the concatenated form (the exact mode by its
+    scalar-exact decomposition, the fast mode by numpy's elementwise
+    complex multiply), so per-element bit-identity — and with it the
+    front ends' blocking-invariance guarantee — carries over.
+    """
+    validate_mode(mode)
+    lag = int(lag)
+    if lag <= 0:
+        raise ValueError("lag must be positive")
+    if carry.size > lag:
+        raise ValueError("carry longer than lag: products were skipped")
+    if mode == "exact":
+        dtype = np.dtype(np.complex128)
+    else:
+        dtype = x_new.dtype if x_new.dtype.kind == "c" else np.dtype(np.complex128)
+    c = carry.size
+    n = c + x_new.size - lag
+    if n <= 0:
+        new_carry = np.empty(c + x_new.size, dtype=carry.dtype)
+        new_carry[:c] = carry
+        new_carry[c:] = x_new
+        return np.empty(0, dtype=dtype), new_carry
+    seam_n = min(c, n)
+    out = np.empty(n, dtype=dtype)
+    if seam_n:
+        a = carry[:seam_n]
+        b = x_new[lag - c : lag - c + seam_n]
+        if mode == "exact":
+            s = out[:seam_n]
+            s.real = a.real * b.real + a.imag * b.imag
+            s.imag = a.imag * b.real - a.real * b.imag
+        else:
+            np.multiply(a, np.conjugate(b), out=out[:seam_n])
+    main_n = n - seam_n
+    if main_n:
+        a = x_new[:main_n]
+        b = x_new[lag : lag + main_n]
+        if mode == "exact":
+            s = out[seam_n:]
+            s.real = a.real * b.real + a.imag * b.imag
+            s.imag = a.imag * b.real - a.real * b.imag
+        else:
+            np.multiply(a, np.conjugate(b), out=out[seam_n:])
+    if x_new.size >= lag:
+        new_carry = x_new[x_new.size - lag :].astype(carry.dtype, copy=True)
+    else:
+        keep = lag - x_new.size
+        new_carry = np.empty(lag, dtype=carry.dtype)
+        new_carry[:keep] = carry[c - keep :]
+        new_carry[keep:] = x_new
+    return out, new_carry
+
+
 # -- FIR filtering -----------------------------------------------------------
 
 
@@ -250,7 +321,7 @@ def polyphase_decimate_exact(z, taps, decimation, offset=0):
     return out
 
 
-def polyphase_decimate_fast(z, taps, decimation, offset=0):
+def polyphase_decimate_fast(z, taps, decimation, offset=0, trailing="dot"):
     """Decimated valid-mode FIR via a polyphase block-reshape matmul.
 
     ``decimation == 1`` is a plain BLAS matvec over a zero-copy sliding
@@ -267,11 +338,24 @@ def polyphase_decimate_fast(z, taps, decimation, offset=0):
     band sum over the tiny ``nb`` axis costs ``nb`` vector adds.  Complex
     taps are supported (the decimating channelizer folds its mixer into
     the taps); complex64 input stays complex64.
+
+    ``trailing`` controls outputs whose zero-padded block window runs
+    past the end of ``z`` (at most one, since the padding is shorter
+    than ``D``): ``"dot"`` (default) finishes them with a direct dot —
+    full valid-mode output, but a direct dot rounds differently than the
+    GEMM band sum, so *which* positions got the dot leaks the block
+    boundary into the result at the ulp level.  ``"defer"`` omits them
+    instead, so every returned output went through the identical GEMM
+    arithmetic; streaming callers keep the unconsumed samples buffered
+    and emit the withheld outputs next block (or at end-of-stream, where
+    the boundary is no longer blocking-dependent).
     """
     z = np.asarray(z)
     decimation = int(decimation)
     if decimation < 1:
         raise ValueError("decimation must be >= 1")
+    if trailing not in ("dot", "defer"):
+        raise ValueError("trailing must be 'dot' or 'defer'")
     ntaps = len(taps)
     if z.size - ntaps + 1 <= offset:
         return np.empty(0, dtype=np.complex128)
@@ -279,6 +363,7 @@ def polyphase_decimate_fast(z, taps, decimation, offset=0):
     if z.dtype == np.complex64:
         rev = rev.astype(np.complex64)
     if decimation == 1:
+        # No zero-padding, hence no trailing outputs to defer.
         win = np.lib.stride_tricks.sliding_window_view(z, ntaps)[offset:]
         return win @ rev
     m_out = 1 + (z.size - ntaps - offset) // decimation
@@ -287,6 +372,8 @@ def polyphase_decimate_fast(z, taps, decimation, offset=0):
     n_blocks = zo.size // decimation
     m_main = n_blocks - nb + 1
     if m_main < 1:
+        if trailing == "defer":
+            return np.empty(0, dtype=rev.dtype if z.dtype.kind == "c" else np.complex128)
         # Input barely covers a window; the strided view is fine here.
         win = np.lib.stride_tricks.sliding_window_view(z, ntaps)[offset::decimation]
         return win @ rev
@@ -300,26 +387,31 @@ def polyphase_decimate_fast(z, taps, decimation, offset=0):
     v = blocks @ w.T
     out_dtype = v.dtype
     m_main = min(m_main, m_out)
-    out = np.empty(m_out, dtype=out_dtype)
+    out = np.empty(m_main if trailing == "defer" else m_out, dtype=out_dtype)
     main = out[:m_main]
     main[:] = v[:m_main, 0]
     for b in range(1, nb):
         main += v[b : m_main + b, b]
     # The zero-padding makes the block form need up to D-1 samples past
     # the true window end, so at most one trailing output falls outside
-    # the GEMM; finish it with a direct dot.
-    for m in range(m_main, m_out):
+    # the GEMM; finish it with a direct dot (unless deferred).
+    for m in range(m_main, out.size):
         lo = m * decimation
         out[m] = zo[lo : lo + ntaps] @ rev
     return out
 
 
-def polyphase_decimate(z, taps, decimation, offset=0, mode="exact"):
-    """Decimated valid-mode FIR through the selected kernel mode."""
+def polyphase_decimate(z, taps, decimation, offset=0, mode="exact", trailing="dot"):
+    """Decimated valid-mode FIR through the selected kernel mode.
+
+    ``trailing`` is a fast-mode knob (see
+    :func:`polyphase_decimate_fast`); exact mode computes every output
+    with the same fixed-order accumulation and ignores it.
+    """
     if mode == "exact":
         return polyphase_decimate_exact(z, taps, decimation, offset)
     validate_mode(mode)
-    return polyphase_decimate_fast(z, taps, decimation, offset)
+    return polyphase_decimate_fast(z, taps, decimation, offset, trailing=trailing)
 
 
 __all__ = [
@@ -329,6 +421,7 @@ __all__ = [
     "exact_cmul",
     "exact_lagged_products",
     "lagged_products",
+    "stream_lagged_products",
     "fir",
     "fir_exact",
     "fir_fft",

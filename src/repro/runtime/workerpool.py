@@ -1,0 +1,439 @@
+"""Persistent shared-memory block worker pool for streaming fan-out.
+
+The PR-1 trial executor (:func:`repro.runtime.executor.run_trials`) is
+built for *finite batches*: every task tuple is pickled into the pool,
+so fanning a block stream out to per-channel workers re-serializes the
+whole capture once per channel — the exact shape of the PR-5 ``jobs=2``
+regression.  :class:`BlockWorkerPool` is the streaming counterpart:
+
+* **workers are spawned once** per pool and each builds its consumers
+  from a picklable ``factory(config, key)`` up front, so per-block cost
+  is a queue message, not a process-pool task;
+* **blocks are published once** into :mod:`multiprocessing.shared_memory`
+  segments; every worker maps the segment and hands its consumers a
+  zero-copy read-only ``np.frombuffer`` view.  The parent refcounts each
+  segment and unlinks it after *all* workers have acked the block, so
+  steady-state shared memory is bounded by ``workers x queue_blocks``
+  segments regardless of stream length;
+* **handoff is pipelined** through bounded per-worker queues: the parent
+  publishes block ``n+1`` (or reads it from the source) while workers
+  are still chewing on block ``n``, and a slow consumer exerts
+  backpressure by filling its queue instead of deadlocking — pair
+  :meth:`BlockWorkerPool.can_accept` with a
+  :class:`repro.stream.ring.RingBufferSource` to convert that
+  backpressure into explicit overrun accounting.
+
+Determinism contract, mirroring the executor: results come back keyed
+and are reordered to the caller's original ``keys`` order, and worker
+metric shards (the :class:`repro.obs.metrics.MetricsRegistry`
+enable/reset/snapshot protocol) are merged in worker-index order.
+Stream shards carry only counters and histograms, whose merge is
+commutative addition, so totals are identical to a serial run no matter
+how keys were partitioned across workers.
+
+Consumers must not retain references to the block view after
+``process`` returns — the parent may unlink the segment as soon as the
+block is acked.  A retained view keeps the *mapping* alive (the worker's
+``shm.close`` is deferred, never crashed) but is a leak, not a
+correctness guarantee.
+"""
+
+import queue as queue_mod
+import traceback
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY
+
+_POOL_BLOCKS = REGISTRY.counter("runtime.pool.blocks_published")
+_POOL_BYTES = REGISTRY.counter("runtime.pool.bytes_shared")
+_POOL_SEGMENTS = REGISTRY.gauge("runtime.pool.segments_inflight")
+
+#: Default bound on each worker's descriptor queue — deep enough to keep
+#: a worker busy while the parent reads the next block from the source,
+#: shallow enough that in-flight shared memory stays small.
+DEFAULT_QUEUE_BLOCKS = 4
+
+#: Seconds between liveness checks while blocked on a full worker queue
+#: or an idle result queue.  Short enough that a crashed worker surfaces
+#: promptly; long enough to stay off the hot path.
+_POLL_S = 0.2
+
+
+def _attach_readonly(name, count, dtype):
+    """Map a published segment; return ``(shm, read-only ndarray view)``.
+
+    The parent owns every segment's lifecycle: create registers it with
+    the (shared) resource tracker once, unlink unregisters it once.  A
+    worker attach must therefore not touch the tracker at all — Python
+    <= 3.12 registers attaches unconditionally, and because tracker
+    messages from different processes are unordered, both a worker-side
+    ``unregister`` *and* a plain tracked attach race the parent's unlink
+    into spurious tracker tracebacks.  3.13+ exposes ``track=False`` for
+    exactly this; older versions need the register shim.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    view = np.frombuffer(shm.buf, dtype=dtype, count=count)
+    view.flags.writeable = False
+    return shm, view
+
+
+def _close_quietly(shm):
+    """Close a worker's mapping; tolerate views that still export it."""
+    try:
+        shm.close()
+    except BufferError:
+        # A consumer retained a view.  The mapping stays alive until the
+        # process exits (harmless: unlink-while-mapped is safe on POSIX),
+        # and the parent's refcount protocol is unaffected.
+        pass
+
+
+def _worker_main(
+    worker_index,
+    factory,
+    config,
+    keys,
+    in_queue,
+    ack_queue,
+    out_queue,
+    metrics_enabled,
+):
+    """Worker loop: build consumers once, then map/consume/ack per block.
+
+    Module-level so the pool works under every start method.  The final
+    message is ``("done", worker_index, [(key, result), ...], shard)``;
+    any failure ships ``("error", worker_index, traceback_text)`` instead
+    so the parent can re-raise with the worker's stack.
+    """
+    try:
+        if metrics_enabled:
+            # Spawn-started workers begin disabled; fork-started workers
+            # inherit parent values.  Enable + reset normalizes both so
+            # the shard holds exactly this worker's increments.
+            REGISTRY.enable()
+            REGISTRY.reset()
+        consumers = [(key, factory(config, key)) for key in keys]
+        while True:
+            descriptor = in_queue.get()
+            if descriptor is None:
+                break
+            seq, name, count, dtype_str = descriptor
+            if name is None:
+                block = np.empty(0, dtype=np.dtype(dtype_str))
+                block.flags.writeable = False  # same contract as shm views
+                for _key, consumer in consumers:
+                    consumer.process(block)
+                ack_queue.put(seq)
+                continue
+            shm, view = _attach_readonly(name, count, np.dtype(dtype_str))
+            try:
+                for _key, consumer in consumers:
+                    consumer.process(view)
+            finally:
+                del view
+                _close_quietly(shm)
+                ack_queue.put(seq)
+        results = [(key, consumer.finish()) for key, consumer in consumers]
+        shard = REGISTRY.snapshot() if metrics_enabled else None
+        out_queue.put(("done", worker_index, results, shard))
+    except BaseException:
+        out_queue.put(("error", worker_index, traceback.format_exc()))
+
+
+class BlockWorkerPool:
+    """Spawn-once workers consuming a stream of shared-memory blocks.
+
+    ``factory(config, key)`` (module-level, picklable) builds one
+    consumer per key; a consumer exposes ``process(block)`` (called once
+    per published block, with a read-only view) and ``finish()`` (called
+    once at :meth:`join`, returns that key's result).  Keys are
+    partitioned round-robin across ``min(jobs, len(keys))`` workers.
+    """
+
+    def __init__(
+        self,
+        factory,
+        config,
+        keys,
+        jobs,
+        queue_blocks=DEFAULT_QUEUE_BLOCKS,
+        mp_context=None,
+    ):
+        keys = list(keys)
+        if not keys:
+            raise ValueError("BlockWorkerPool needs at least one key")
+        jobs = max(1, int(jobs))
+        queue_blocks = int(queue_blocks)
+        if queue_blocks <= 0:
+            raise ValueError("queue_blocks must be positive")
+        self._keys = keys
+        self._queue_blocks = queue_blocks
+        ctx = get_context(mp_context)
+        n_workers = min(jobs, len(keys))
+        self._in_queues = [
+            ctx.Queue(maxsize=queue_blocks) for _ in range(n_workers)
+        ]
+        self._ack_queue = ctx.Queue()
+        self._out_queue = ctx.Queue()
+        metrics_enabled = REGISTRY.enabled
+        self._processes = []
+        for index in range(n_workers):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    factory,
+                    config,
+                    keys[index::n_workers],
+                    self._in_queues[index],
+                    self._ack_queue,
+                    self._out_queue,
+                    metrics_enabled,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        #: seq -> [SharedMemory, outstanding ack count]
+        self._segments = {}
+        self._seq = 0
+        self._closed = False
+        self._joined = False
+        self.blocks_published = 0
+        self.samples_published = 0
+        self.bytes_shared = 0
+        self.peak_segments = 0
+
+    # -- publication --------------------------------------------------------
+
+    def publish(self, block):
+        """Ship one block to every worker; blocks on full worker queues.
+
+        The block is copied once into a fresh shared-memory segment (as
+        its own dtype — the caller canonicalizes) and only descriptors
+        travel through the queues.  Raises if a worker has died.
+        """
+        if self._closed:
+            raise ValueError("publish on a closed pool")
+        self._drain_acks()
+        block = np.ascontiguousarray(block)
+        seq = self._seq
+        self._seq += 1
+        if block.size == 0:
+            descriptor = (seq, None, 0, block.dtype.str)
+        else:
+            shm = shared_memory.SharedMemory(create=True, size=block.nbytes)
+            staging = np.frombuffer(shm.buf, dtype=block.dtype, count=block.size)
+            staging[:] = block.ravel()
+            del staging
+            self._segments[seq] = [shm, len(self._processes)]
+            self.peak_segments = max(self.peak_segments, len(self._segments))
+            self.bytes_shared += int(block.nbytes)
+            _POOL_BYTES.inc(int(block.nbytes))
+            _POOL_SEGMENTS.set(len(self._segments))
+            descriptor = (seq, shm.name, int(block.size), block.dtype.str)
+        for process, in_queue in zip(self._processes, self._in_queues):
+            self._put(in_queue, process, descriptor)
+        self.blocks_published += 1
+        self.samples_published += int(block.size)
+        _POOL_BLOCKS.inc()
+
+    def can_accept(self):
+        """True when every worker queue has room for one more descriptor.
+
+        The pool is single-producer, so a non-full queue cannot fill
+        underneath the caller — ``can_accept() -> publish()`` will not
+        block.  This is the hook a bounded ring producer uses to turn
+        slow-worker backpressure into overrun accounting instead of a
+        stalled producer.
+        """
+        self._drain_acks()
+        self._check_worker_failure()
+        return all(not q.full() for q in self._in_queues)
+
+    def try_publish(self, block):
+        """Publish without blocking; returns ``False`` when backpressured."""
+        if not self.can_accept():
+            return False
+        self.publish(block)
+        return True
+
+    # -- completion ---------------------------------------------------------
+
+    def join(self):
+        """Send end-of-stream, gather results, merge metric shards.
+
+        Returns per-key results in the constructor's ``keys`` order.
+        Shards merge in worker-index order; stream shards are counters
+        and histograms only, so totals are partition-independent.
+        """
+        if self._joined:
+            raise ValueError("pool already joined")
+        for process, in_queue in zip(self._processes, self._in_queues):
+            self._put(in_queue, process, None)
+        pending = set(range(len(self._processes)))
+        pairs_by_worker = {}
+        shard_by_worker = {}
+        while pending:
+            self._drain_acks()
+            try:
+                message = self._out_queue.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                self._check_liveness(pending)
+                continue
+            if message[0] == "error":
+                self._raise_worker_error(message)
+            _kind, worker_index, pairs, shard = message
+            pairs_by_worker[worker_index] = pairs
+            shard_by_worker[worker_index] = shard
+            pending.discard(worker_index)
+        # Every worker acked every block before sending "done", so the
+        # remaining acks are already queued — drain to release segments.
+        while self._segments:
+            self._drain_acks(blocking=True)
+        self._joined = True
+        for worker_index in sorted(shard_by_worker):
+            shard = shard_by_worker[worker_index]
+            if shard is not None:
+                REGISTRY.merge(shard)
+        results_by_key = {
+            key: result
+            for pairs in pairs_by_worker.values()
+            for key, result in pairs
+        }
+        return [results_by_key[key] for key in self._keys]
+
+    def close(self):
+        """Tear the pool down; safe after errors and idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive() and not self._joined:
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for shm, _refcount in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        _POOL_SEGMENTS.set(0)
+        for q in (*self._in_queues, self._ack_queue, self._out_queue):
+            q.close()
+            q.cancel_join_thread()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def stats(self):
+        return {
+            "workers": len(self._processes),
+            "queue_blocks": self._queue_blocks,
+            "blocks_published": self.blocks_published,
+            "samples_published": self.samples_published,
+            "bytes_shared": self.bytes_shared,
+            "peak_inflight_segments": self.peak_segments,
+            "inflight_segments": len(self._segments),
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _put(self, in_queue, process, message):
+        """Bounded put with liveness checks — never hangs on a dead worker."""
+        while True:
+            try:
+                in_queue.put(message, timeout=_POLL_S)
+                return
+            except queue_mod.Full:
+                self._drain_acks()
+                self._check_worker_failure()
+                if not process.is_alive():
+                    raise RuntimeError(
+                        "pool worker died with its queue full"
+                    ) from None
+
+    def _drain_acks(self, blocking=False):
+        """Release every segment whose last consumer has acked it.
+
+        ``blocking=True`` waits for acks until no segment is outstanding
+        (bounded: workers flush their ack queue before reporting done, so
+        a long silence here means a protocol bug, not a slow consumer).
+        """
+        polls_left = 50
+        while True:
+            try:
+                if blocking and self._segments:
+                    seq = self._ack_queue.get(timeout=_POLL_S)
+                else:
+                    seq = self._ack_queue.get_nowait()
+            except queue_mod.Empty:
+                if blocking and self._segments:
+                    polls_left -= 1
+                    if polls_left <= 0:
+                        raise RuntimeError(
+                            "timed out waiting for block acks; "
+                            f"{len(self._segments)} segment(s) outstanding"
+                        )
+                    continue
+                return
+            entry = self._segments.get(seq)
+            if entry is None:
+                continue
+            entry[1] -= 1
+            if entry[1] == 0:
+                shm, _ = entry
+                shm.close()
+                shm.unlink()
+                del self._segments[seq]
+                _POOL_SEGMENTS.set(len(self._segments))
+
+    def _check_worker_failure(self):
+        """Surface an early worker error without consuming 'done' results."""
+        try:
+            message = self._out_queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        if message[0] == "error":
+            self._raise_worker_error(message)
+        # A "done" sneaking in mid-stream would mean a protocol bug; put
+        # it back for join() rather than dropping the result.
+        self._out_queue.put(message)
+
+    def _check_liveness(self, pending):
+        dead = [
+            index
+            for index, process in enumerate(self._processes)
+            if index in pending and not process.is_alive()
+        ]
+        if dead:
+            raise RuntimeError(
+                f"pool worker(s) {dead} exited without reporting a result"
+            )
+
+    def _raise_worker_error(self, message):
+        _kind, worker_index, text = message
+        raise RuntimeError(
+            f"pool worker {worker_index} failed:\n{text}"
+        )
+
+
+__all__ = ["BlockWorkerPool", "DEFAULT_QUEUE_BLOCKS"]

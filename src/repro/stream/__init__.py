@@ -8,7 +8,7 @@ architecture and the block-size-invariance argument.
 """
 
 from repro.stream.engine import StreamEngine, batch_decode_stream
-from repro.stream.parallel import channel_task
+from repro.stream.parallel import ChannelConsumer, channel_consumer
 from repro.stream.frontend import (
     ChannelizerFrontEnd,
     FastChannelBank,
@@ -20,6 +20,7 @@ from repro.stream.ring import RingBufferSource
 from repro.stream.session import StreamFrame, StreamSession
 
 __all__ = [
+    "ChannelConsumer",
     "ChannelizerFrontEnd",
     "FastChannelBank",
     "FrontEndBlock",
@@ -29,6 +30,6 @@ __all__ = [
     "StreamSession",
     "StreamingFrontEnd",
     "batch_decode_stream",
-    "channel_task",
+    "channel_consumer",
     "design_lowpass",
 ]

@@ -28,18 +28,25 @@ the exact full-rate behaviour:
 * ``mode`` — ``"exact"`` (bit-exact block-size invariance) or
   ``"fast"`` (native kernels, mixer folded into the filter taps;
   decode-equivalent).
-* ``run(blocks, jobs=n)`` — per-channel demux in parallel worker
-  processes through :func:`repro.runtime.executor.run_trials`: channels
-  are fully independent between the front end and arbitration, workers
-  ship per-channel frames and metric shards back, and the parent merges
-  shards in task order and arbitrates once over the complete pool, so
-  serial and parallel runs report identical frames and identical
-  ``stream.*`` metric totals.
+* ``run(blocks, jobs=n)`` — per-channel demux across a persistent
+  :class:`repro.runtime.workerpool.BlockWorkerPool` (PR 6): channel
+  workers are spawned once, every sample block is published once into
+  shared memory and consumed zero-copy by all workers, and handoff is
+  pipelined through bounded per-worker queues.  Channels are fully
+  independent between the front end and arbitration, workers ship
+  per-channel frames and metric shards back, and the parent merges
+  shards and arbitrates once over the complete pool, so serial and
+  parallel runs report identical frames and identical ``stream.*``
+  metric totals.  When ``jobs > 1`` cannot apply (wideband, or a
+  single demux channel) the engine counts ``stream.jobs_ignored`` and
+  logs a warning instead of silently running serial.
 
 Use :func:`batch_decode_stream` as the one-shot reference: it runs the
 identical engine over the whole capture as a single block, which is what
 the block-size-invariance guarantee is measured against.
 """
+
+import logging
 
 import numpy as np
 
@@ -49,7 +56,7 @@ from repro.core.phase import cfo_compensation_phase
 from repro.dsp.kernels import cmul, validate_mode
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
-from repro.runtime.executor import resolve_jobs, run_trials
+from repro.runtime.executor import resolve_jobs
 from repro.stream.frontend import (
     ChannelizerFrontEnd,
     FastChannelBank,
@@ -66,6 +73,9 @@ _BLOCKS = REGISTRY.counter("stream.engine.blocks")
 _SAMPLES = REGISTRY.counter("stream.engine.samples_in")
 _FRAMES = REGISTRY.counter("stream.engine.frames")
 _SUPPRESSED = REGISTRY.counter("stream.engine.leak_suppressed")
+_JOBS_IGNORED = REGISTRY.counter("stream.jobs_ignored")
+
+_LOG = logging.getLogger(__name__)
 
 #: Default demux channelizer: short enough to keep most of the 84-sample
 #: plateau (an ``ntaps``-tap FIR costs ``ntaps - 1`` plateau samples),
@@ -106,6 +116,17 @@ class _ChannelPath:
         if self.rotation is not None and products.size:
             products = cmul(products, self.rotation, self.mode)
         return self.session.push_products(products)
+
+    def flush_front_end(self):
+        """Emit the front end's deferred tail at end-of-stream.
+
+        Fast-mode channelizers withhold up to one filtered output per
+        channel mid-stream to keep products cut-invariant (see
+        :meth:`repro.stream.frontend.ChannelizerFrontEnd.flush`); this
+        pushes that tail through the session before the session itself
+        is flushed.
+        """
+        return self.push_front_end_block(self.front_end.flush())
 
 
 class StreamEngine:
@@ -273,6 +294,8 @@ class StreamEngine:
         #: Per-channel session stats shipped back by parallel workers
         #: (the local sessions stay idle in a parallel run).
         self._worker_session_stats = None
+        #: Transport stats of the last parallel run's worker pool.
+        self._pool_stats = None
 
     @property
     def zigbee_channels(self):
@@ -305,8 +328,15 @@ class StreamEngine:
         return frames
 
     def finish(self):
-        """Flush every session at end-of-stream; return the tail frames."""
+        """Flush every front end and session at end-of-stream."""
         with TRACER.span("stream.finish"):
+            if self._bank is not None:
+                fe_blocks = self._bank.flush()
+                for path, fe_block in zip(self._paths, fe_blocks):
+                    self._pending.extend(path.push_front_end_block(fe_block))
+            else:
+                for path in self._paths:
+                    self._pending.extend(path.flush_front_end())
             for path in self._paths:
                 self._pending.extend(path.session.finish())
             frames = self._release(final=True)
@@ -392,16 +422,31 @@ class StreamEngine:
         :meth:`process_block` per popped block instead.
 
         ``jobs`` (default: the ``REPRO_JOBS`` environment variable, i.e.
-        serial) fans the demux channels out across worker processes —
-        each worker runs one channel's full front-end + session chain
-        over every block, and the parent arbitrates leak suppression
-        once over the complete frame pool.  The frame list, per-session
-        stats and ``stream.*`` metric totals are identical to a serial
-        run; requires ``demux`` with more than one channel.
+        serial) fans the demux channels out across a persistent
+        :class:`repro.runtime.workerpool.BlockWorkerPool` — workers are
+        spawned once, each block is published once into shared memory
+        while workers chew on earlier blocks, and each worker runs its
+        channels' full front-end + session chains.  The parent
+        arbitrates leak suppression once over the complete frame pool.
+        The frame list, per-session stats and ``stream.*`` metric totals
+        are identical to a serial run; requires ``demux`` with more than
+        one channel.  A ``jobs > 1`` request the engine cannot honour
+        (wideband, or a single demux channel) increments the
+        ``stream.jobs_ignored`` counter and logs a warning before
+        running serial.
         """
         jobs = resolve_jobs(jobs)
-        if jobs != 1 and self.demux and len(self._paths) > 1:
-            return self._run_parallel(blocks, jobs)
+        if jobs != 1:
+            if self.demux and len(self._paths) > 1:
+                return self._run_parallel(blocks, jobs)
+            _JOBS_IGNORED.inc()
+            _LOG.warning(
+                "jobs=%d ignored: parallel demux needs demux=True with "
+                ">1 channel (engine has %s%d); running serial",
+                jobs,
+                "demux, " if self.demux else "wideband, ",
+                len(self._paths),
+            )
         frames = []
         for block in blocks:
             frames.extend(self.process_block(block))
@@ -409,28 +454,47 @@ class StreamEngine:
         return frames
 
     def _run_parallel(self, blocks, jobs):
-        """Per-channel worker fan-out behind :meth:`run`."""
-        from repro.stream.parallel import channel_task
+        """Persistent-pool per-channel fan-out behind :meth:`run`.
 
-        blocks = [np.asarray(block, dtype=np.complex128) for block in blocks]
-        tasks = [
-            (self._engine_kwargs, path.zigbee_channel, blocks)
-            for path in self._paths
-        ]
+        Blocks stream straight from the source into shared memory —
+        nothing is materialized — so a live producer (ring pop loop)
+        overlaps with worker decode.  Blocks are published as canonical
+        complex128 (value-preserving for every working dtype) and each
+        worker applies the engine's own per-block dtype conversion.
+        """
+        from repro.runtime.workerpool import BlockWorkerPool
+        from repro.stream.parallel import channel_consumer
+
+        n_blocks = 0
+        n_samples = 0
         with TRACER.span(
-            "stream.run_parallel", jobs=int(jobs), channels=len(tasks)
+            "stream.run_parallel", jobs=int(jobs), channels=len(self._paths)
         ):
-            results = run_trials(channel_task, tasks, jobs=jobs, chunk_size=1)
+            pool = BlockWorkerPool(
+                channel_consumer,
+                self._engine_kwargs,
+                [path.zigbee_channel for path in self._paths],
+                jobs=jobs,
+            )
+            try:
+                for block in blocks:
+                    block = np.ascontiguousarray(block, dtype=np.complex128)
+                    pool.publish(block)
+                    n_blocks += 1
+                    n_samples += int(block.size)
+                results = pool.join()
+                self._pool_stats = pool.stats()
+            finally:
+                pool.close()
             self._worker_session_stats = []
             for frames, session_stats in results:
                 self._pending.extend(frames)
                 self._worker_session_stats.append(session_stats)
             released = self._release(final=True)
-        n_samples = int(sum(block.size for block in blocks))
-        self.blocks_in += len(blocks)
+        self.blocks_in += n_blocks
         self.samples_in += n_samples
         self.frames_out += len(released)
-        _BLOCKS.inc(len(blocks))
+        _BLOCKS.inc(n_blocks)
         _SAMPLES.inc(n_samples)
         if released:
             _FRAMES.inc(len(released))
@@ -449,7 +513,13 @@ class StreamEngine:
                 if self._worker_session_stats is not None
                 else [path.session.stats() for path in self._paths]
             ),
+            "pool": self._pool_stats,
         }
+
+    @property
+    def pool_stats(self):
+        """Worker-pool transport stats of the last parallel run (or None)."""
+        return self._pool_stats
 
 
 def batch_decode_stream(samples, **engine_kwargs):

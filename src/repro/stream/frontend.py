@@ -50,6 +50,7 @@ from repro.dsp.kernels import (
     exact_lagged_products,
     lagged_products as _lagged_products,
     polyphase_decimate,
+    stream_lagged_products,
     validate_mode,
 )
 from repro.wifi.idle_listening import autocorrelation_metric
@@ -127,6 +128,20 @@ class StreamingFrontEnd:
     def process(self, block):
         """Consume one sample block, return the newly computable outputs."""
         block = np.asarray(block, dtype=self.dtype)
+        if self.mode != "exact" and not self.compute_metric:
+            # Fused streaming path: seam + interior products straight
+            # from the carry and the new block, no concatenate pass.
+            # Per-element bit-identical to the concatenated form (see
+            # the kernel), so the invariance tests cover both paths.
+            start = self._products_out
+            products, self._tail = stream_lagged_products(
+                block, self._tail, self.lag, self.mode
+            )
+            self.samples_in += block.size
+            self._products_out += products.size
+            return FrontEndBlock(
+                products=products, start=start, metric=None, corr_phase=None
+            )
         x = np.concatenate((self._tail, block)) if self._tail.size else block
         self.samples_in += block.size
         start = self._products_out
@@ -160,6 +175,10 @@ class StreamingFrontEnd:
         return FrontEndBlock(
             products=products, start=start, metric=metric, corr_phase=corr_phase
         )
+
+    def flush(self):
+        """End-of-stream hook; products are never deferred here (no-op)."""
+        return self.process(np.empty(0, dtype=self.dtype))
 
 
 def design_lowpass(ntaps, cutoff_hz, sample_rate):
@@ -357,6 +376,29 @@ class ChannelizerFrontEnd:
             ),
         )
 
+    def _emittable(self, z_size):
+        """How many buffered outputs this mode emits mid-stream.
+
+        Exact mode emits every computable output.  Fast mode with
+        ``decimation > 1`` withholds outputs whose zero-padded polyphase
+        block window runs past the buffer (at most one): those would
+        fall back to a direct dot whose rounding differs from the GEMM
+        band sum, and *which* positions take the fallback depends on
+        where the stream was cut — the one ulp-level leak of block
+        boundaries into fast-mode products.  Deferring them until they
+        are GEMM-computable (or to :meth:`flush`, where the boundary is
+        the cut-independent end of stream) makes fast products
+        cut-invariant too.
+        """
+        total = z_size - self.ntaps + 1
+        if total <= 0:
+            return 0
+        m = 1 + (total - 1) // self.decimation
+        if self.mode == "exact" or self.decimation == 1:
+            return m
+        nb = -(-self.ntaps // self.decimation)
+        return min(m, max(z_size // self.decimation - nb + 1, 0))
+
     def process(self, block):
         """Consume one wideband block, return this sub-band's new products."""
         block = np.asarray(block, dtype=self.working_dtype)
@@ -372,17 +414,38 @@ class ChannelizerFrontEnd:
         z = np.concatenate((self._buf, new)) if self._buf.size else new
         # The buffer always starts at global index _next_win, so window
         # starts are local 0, D, 2D, ...
-        total = z.size - self.ntaps + 1
-        if total <= 0:
+        m = self._emittable(z.size)
+        if m < 1:
             self._buf = z if z is not new else z.copy()
             return self._inner.process(np.empty(0, dtype=self.working_dtype))
-        m = 1 + (total - 1) // self.decimation
         if self.mode == "exact":
             filtered = polyphase_decimate(z, self.taps, self.decimation, mode="exact")
         else:
             filtered = polyphase_decimate(
-                z, self._fast_taps, self.decimation, mode="fast"
+                z, self._fast_taps, self.decimation, mode="fast", trailing="defer"
             )
+        consumed = m * self.decimation
+        self._next_win += consumed
+        self._buf = z[consumed:].copy()
+        return self._inner.process(filtered)
+
+    def flush(self):
+        """Emit any deferred tail outputs at end-of-stream.
+
+        Fast mode's mid-stream deferral (see :meth:`_emittable`) can
+        leave up to one computable output in the buffer; the stream end
+        is the same for every blocking, so finishing it with the direct
+        dot here is deterministic.  Exact mode never defers — this is a
+        no-op returning an empty block.
+        """
+        z = self._buf
+        total = z.size - self.ntaps + 1
+        if total <= 0 or self.mode == "exact":
+            return self._inner.process(np.empty(0, dtype=self.working_dtype))
+        m = 1 + (total - 1) // self.decimation
+        filtered = polyphase_decimate(
+            z, self._fast_taps, self.decimation, mode="fast"
+        )
         consumed = m * self.decimation
         self._next_win += consumed
         self._buf = z[consumed:].copy()
@@ -473,15 +536,19 @@ class FastChannelBank:
         block = np.asarray(block, dtype=self.working_dtype)
         self._index += block.size
         z = np.concatenate((self._buf, block)) if self._buf.size else block
-        total = z.size - self.ntaps + 1
-        if total <= 0:
+        # Same deferred-emission count as each front end's own process
+        # (all front ends share geometry, so one count serves all) —
+        # every emitted output goes through the GEMM band sum, keeping
+        # fast products cut-invariant and the bank bit-identical to the
+        # solo path.
+        m_emit = self.front_ends[0]._emittable(z.size)
+        if m_emit < 1:
             self._buf = z if z is not block else z.copy()
             empty = np.empty(0, dtype=self.working_dtype)
             return [fe._inner.process(empty) for fe in self.front_ends]
         d = self.decimation
-        m_out = 1 + (total - 1) // d
-        outs = self._filter_all(z, m_out)
-        consumed = m_out * d
+        outs = self._filter_all(z, m_emit)
+        consumed = m_emit * d
         self._buf = z[consumed:].copy()
         blocks = []
         for fe, out in zip(self.front_ends, outs):
@@ -490,32 +557,52 @@ class FastChannelBank:
             blocks.append(fe._inner.process(out))
         return blocks
 
-    def _filter_all(self, z, m_out):
+    def flush(self):
+        """Emit the deferred tail outputs at end-of-stream.
+
+        Mirrors :meth:`ChannelizerFrontEnd.flush` per channel — the
+        same kernel call on the same buffered tail, so a bank run stays
+        bit-identical to solo runs through the end of the stream.
+        """
+        z = self._buf
+        total = z.size - self.ntaps + 1
+        if total <= 0:
+            empty = np.empty(0, dtype=self.working_dtype)
+            return [fe._inner.process(empty) for fe in self.front_ends]
+        d = self.decimation
+        m = 1 + (total - 1) // d
+        consumed = m * d
+        outs = [
+            polyphase_decimate(z, fe._fast_taps, d, mode="fast")
+            for fe in self.front_ends
+        ]
+        self._buf = z[consumed:].copy()
+        blocks = []
+        for fe, out in zip(self.front_ends, outs):
+            fe._next_win += consumed
+            blocks.append(fe._inner.process(out))
+        return blocks
+
+    def _filter_all(self, z, m_main):
+        """Band-sum GEMM outputs for every channel (all GEMM-covered).
+
+        The caller's ``m_main`` never exceeds ``n_blocks - nb + 1``
+        (that is what :meth:`ChannelizerFrontEnd._emittable` returns),
+        so no output needs the direct-dot fallback whose rounding
+        differs from the band sum.
+        """
         d, nb = self.decimation, self._nb
         n_blocks = z.size // d
-        m_main = n_blocks - nb + 1
-        if m_main < 1:
-            # Too short for the block view; the per-channel kernel
-            # handles the strided fallback.
-            return [
-                polyphase_decimate(z, fe._fast_taps, d, mode="fast")
-                for fe in self.front_ends
-            ]
         st = z.strides[0]
         blocks = np.lib.stride_tricks.as_strided(
             z, (n_blocks, d), (d * st, st)
         )
-        m_main = min(m_main, m_out)
         outs = []
-        for weight, wdot in zip(self._weights, self._wdots):
+        for weight in self._weights:
             v = blocks @ weight.T
-            out = np.empty(m_out, dtype=v.dtype)
-            main = out[:m_main]
-            main[:] = v[:m_main, 0]
+            out = np.empty(m_main, dtype=v.dtype)
+            out[:] = v[:m_main, 0]
             for b in range(1, nb):
-                main += v[b : m_main + b, b]
-            for m in range(m_main, m_out):
-                lo = m * d
-                out[m] = z[lo : lo + self.ntaps] @ wdot
+                out += v[b : m_main + b, b]
             outs.append(out)
         return outs

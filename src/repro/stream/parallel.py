@@ -1,43 +1,66 @@
-"""Per-channel demux worker for parallel :meth:`StreamEngine.run`.
+"""Per-channel demux consumers for parallel :meth:`StreamEngine.run`.
 
 Demux channels are fully independent between the sample stream and the
 engine's leak arbitration: each channel's front end, CFO rotation and
 session consume the same block sequence without ever reading another
-channel's state.  So a worker process can own one channel end-to-end —
-it rebuilds a single-channel engine from the parent's constructor
-kwargs (identical filter design, decimation scaling and capture
-thresholds), drives the :class:`repro.stream.engine._ChannelPath`
-directly (bypassing engine-level block/sample counters, which the
-parent accounts once per block, not once per channel), and ships the
-emitted frames plus session stats back.
+channel's state.  So a pool worker can own one channel end-to-end — it
+rebuilds a single-channel engine from the parent's constructor kwargs
+(identical filter design, decimation scaling and capture thresholds),
+drives the :class:`repro.stream.engine._ChannelPath` directly (bypassing
+engine-level block/sample counters, which the parent accounts once per
+block, not once per channel), and ships the emitted frames plus session
+stats back when the stream ends.
 
-The parent then arbitrates leak suppression once over the complete
-frame pool — equivalent to the serial incremental release, see
-:meth:`StreamEngine._release` — and
-:func:`repro.runtime.executor.run_trials` merges each worker's metric
-shard in task order, so serial and parallel runs report identical
-frames *and* identical ``stream.*`` / ``decoder.*`` metric totals.
+:func:`channel_consumer` is the ``factory(config, key)`` hook for
+:class:`repro.runtime.workerpool.BlockWorkerPool`: the pool spawns the
+workers once, publishes each sample block once into shared memory, and
+hands every consumer a zero-copy read-only view per block.  The parent
+then arbitrates leak suppression once over the complete frame pool —
+equivalent to the serial incremental release, see
+:meth:`StreamEngine._release` — and merges worker metric shards, so
+serial and parallel runs report identical frames *and* identical
+``stream.*`` / ``decoder.*`` metric totals.
 """
 
-from repro.stream.engine import StreamEngine
+import numpy as np
 
 
-def channel_task(task):
-    """Run one demux channel over every block; module-level for pickling.
+class ChannelConsumer:
+    """One demux channel driven block-by-block inside a pool worker."""
 
-    ``task`` is ``(engine_kwargs, zigbee_channel, blocks)``; returns
-    ``(frames, session_stats)``.  Frames keep their per-session
-    ``latency_products``: the worker pushes the same block sequence the
-    serial engine would, so even the block-size-dependent fields match.
-    """
-    engine_kwargs, zigbee_channel, blocks = task
-    engine = StreamEngine(zigbee_channels=[zigbee_channel], **engine_kwargs)
-    (path,) = engine._paths
-    frames = []
-    for block in blocks:
-        frames.extend(path.process_block(block))
-    frames.extend(path.session.finish())
-    return frames, path.session.stats()
+    def __init__(self, engine_kwargs, zigbee_channel):
+        from repro.stream.engine import StreamEngine
+
+        engine = StreamEngine(
+            zigbee_channels=[zigbee_channel], **engine_kwargs
+        )
+        (self._path,) = engine._paths
+        #: Blocks arrive from shared memory as canonical complex128; the
+        #: same per-block dtype conversion the serial engine applies in
+        #: ``process_block`` keeps the products bit-identical.
+        self._dtype = engine.working_dtype or np.complex128
+        self._frames = []
+
+    def process(self, block):
+        """Consume one published block; the view is not retained."""
+        block = np.asarray(block, dtype=self._dtype)
+        self._frames.extend(self._path.process_block(block))
+
+    def finish(self):
+        """Flush front end and session; returns ``(frames, session_stats)``.
+
+        Frames keep their per-session ``latency_products``: the worker
+        pushed the same block sequence the serial engine would, so even
+        the block-size-dependent fields match.
+        """
+        self._frames.extend(self._path.flush_front_end())
+        self._frames.extend(self._path.session.finish())
+        return self._frames, self._path.session.stats()
 
 
-__all__ = ["channel_task"]
+def channel_consumer(engine_kwargs, zigbee_channel):
+    """Pool factory: build one channel's consumer; module-level for pickling."""
+    return ChannelConsumer(engine_kwargs, zigbee_channel)
+
+
+__all__ = ["ChannelConsumer", "channel_consumer"]

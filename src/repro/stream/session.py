@@ -281,6 +281,16 @@ class _DerivedStreams:
     from slices without re-deriving anything.  Float caches follow the
     session's working dtype (float32 halves their traffic, at the
     precision noted in the module docstring).
+
+    Fast-mode sessions use the same dense caches as exact ones: the
+    fast kernels' defer/flush contract (see
+    :func:`repro.dsp.kernels.polyphase_decimate_fast`) makes their
+    products blocking-invariant, so the prefix arithmetic here carries
+    the invariance through unchanged.  A lazily-extended variant that
+    derived the float gates only over scanned regions was measured
+    slower at every signal density — the count gate fires for nearly
+    every noise chunk, so coherence ends up densely covered anyway and
+    the on-demand dispatch overhead is pure loss.
     """
 
     def __init__(self, decoder, folds, dtype=np.complex128):
@@ -520,7 +530,8 @@ class StreamSession:
     def _search(self, final):
         avail = self._buf.end - self._origin
         if avail >= self.scan_len:
-            return self._search_scan(1 + (avail - self.scan_len) // self.stride)
+            chunks = 1 + (avail - self.scan_len) // self.stride
+            return self._search_scan(chunks)
         if final and avail >= self.span + self.decoder.window:
             # Last partial chunk: nothing after it will re-scan, so
             # accept a capture anywhere in it.  Rare (once per stream)

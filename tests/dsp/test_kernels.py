@@ -22,6 +22,7 @@ from repro.dsp.kernels import (
     polyphase_decimate,
     polyphase_decimate_exact,
     polyphase_decimate_fast,
+    stream_lagged_products,
     validate_mode,
 )
 
@@ -191,3 +192,97 @@ class TestPolyphaseFast:
     def test_rejects_bad_decimation(self, rng):
         with pytest.raises(ValueError):
             polyphase_decimate_fast(_signal(rng, 100), np.ones(5), 0)
+
+
+class TestPolyphaseDefer:
+    """``trailing="defer"``: withhold outputs the GEMM cannot cover."""
+
+    def test_defer_is_prefix_of_dot(self, rng):
+        for n in range(84, 130):
+            z = _signal(rng, n)
+            taps = _signal(rng, 21)
+            full = polyphase_decimate_fast(z, taps, 4, trailing="dot")
+            gemm = polyphase_decimate_fast(z, taps, 4, trailing="defer")
+            assert gemm.size <= full.size, n
+            assert full.size - gemm.size <= 1, n
+            np.testing.assert_array_equal(full[: gemm.size], gemm)
+
+    def test_defer_never_emits_dot_rounded_outputs(self, rng):
+        # The deferred outputs are exactly those whose padded window
+        # would run past the end — the ones whose "dot" value rounds
+        # differently than the GEMM band-sum would.  Emitting the same
+        # stream in two cuts must give bit-identical prefixes.
+        z = _signal(rng, 4096)
+        taps = _signal(rng, 21)
+        whole = polyphase_decimate_fast(z, taps, 4, trailing="defer")
+        for cut in (85, 1000, 2048, 4000):
+            head = polyphase_decimate_fast(z[:cut], taps, 4, trailing="defer")
+            np.testing.assert_array_equal(whole[: head.size], head)
+
+    def test_defer_empty_below_one_output(self, rng):
+        z = _signal(rng, 22)
+        taps = _signal(rng, 21)
+        out = polyphase_decimate_fast(z, taps, 4, trailing="defer")
+        assert out.size == 0
+
+    def test_decimation_one_never_defers(self, rng):
+        # No zero-padding at decimation 1, so nothing can be withheld.
+        z = _signal(rng, 100)
+        taps = _signal(rng, 21)
+        dot = polyphase_decimate_fast(z, taps, 1, trailing="dot")
+        defer = polyphase_decimate_fast(z, taps, 1, trailing="defer")
+        np.testing.assert_array_equal(dot, defer)
+
+    def test_rejects_unknown_trailing(self, rng):
+        with pytest.raises(ValueError):
+            polyphase_decimate_fast(_signal(rng, 100), np.ones(21), 4,
+                                    trailing="hold")
+
+
+class TestStreamLaggedProducts:
+    """The fused seam+interior streaming kernel against the
+    concatenate-then-slice reference it replaces."""
+
+    def _drive(self, x, cuts, lag, mode):
+        carry = np.empty(0, dtype=x.dtype)
+        outs = []
+        pos = 0
+        for cut in list(cuts) + [x.size]:
+            block = x[pos:cut]
+            pos = cut
+            prod, carry = stream_lagged_products(block, carry, lag, mode)
+            outs.append(prod)
+        return np.concatenate(outs)
+
+    @pytest.mark.parametrize("mode", ("exact", "fast"))
+    @pytest.mark.parametrize("lag", (1, 4, 16))
+    def test_matches_whole_stream(self, rng, mode, lag):
+        x = _signal(rng, 3000)
+        got = self._drive(x, (7, 8, 700, 1500, 1500, 2999), lag, mode)
+        want = lagged_products(x, lag, mode)
+        np.testing.assert_array_equal(got, want)
+
+    def test_blocks_shorter_than_lag(self, rng):
+        x = _signal(rng, 64)
+        got = self._drive(x, tuple(range(1, 64, 3)), 16, "fast")
+        want = lagged_products(x, 16, "fast")
+        np.testing.assert_array_equal(got, want)
+
+    def test_random_cuts_bit_identical(self, rng):
+        x = _signal(rng, 10000, np.complex64)
+        want = lagged_products(x, 4, "fast")
+        cuts = np.unique(rng.integers(0, x.size, size=40))
+        got = self._drive(x, cuts.tolist(), 4, "fast")
+        np.testing.assert_array_equal(got, want)
+
+    def test_carry_is_owned_copy(self, rng):
+        x = _signal(rng, 100)
+        carry = np.empty(0, dtype=x.dtype)
+        _, carry = stream_lagged_products(x, carry, 4, "fast")
+        assert carry.base is None or carry.base is not x
+        x[-4:] = 0
+        assert not np.any(carry == 0)
+
+    def test_rejects_oversized_carry(self, rng):
+        with pytest.raises(ValueError):
+            stream_lagged_products(_signal(rng, 10), _signal(rng, 5), 4)

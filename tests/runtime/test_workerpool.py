@@ -1,0 +1,174 @@
+"""Unit tests for :class:`repro.runtime.workerpool.BlockWorkerPool`.
+
+Transport-level behaviour only — spawn-once workers, shared-memory
+publication and refcounted release, key-ordered results, metric-shard
+merge, error propagation and backpressure.  The decode-level
+equivalence (pooled streaming demux == serial engine) lives in
+``tests/stream/test_parallel.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.runtime.workerpool import DEFAULT_QUEUE_BLOCKS, BlockWorkerPool
+
+_SLOW_CONSUMER_DELAY_S = 0.25
+
+
+class _SummingConsumer:
+    """Accumulates ``scale * sum(block)`` per block; returns the total."""
+
+    def __init__(self, scale):
+        self.scale = scale
+        self.total = 0.0 + 0.0j
+        self.blocks = 0
+
+    def process(self, block):
+        assert not block.flags.writeable
+        self.blocks += 1
+        if block.size:
+            self.total += self.scale * complex(block.sum())
+
+    def finish(self):
+        return (self.blocks, self.total)
+
+
+def summing_consumer(config, key):
+    return _SummingConsumer(scale=config["scales"][key])
+
+
+class _MeteredConsumer:
+    def __init__(self):
+        self.counter = REGISTRY.counter("test.pool.blocks_seen")
+
+    def process(self, block):
+        self.counter.inc()
+
+    def finish(self):
+        return None
+
+
+def metered_consumer(config, key):
+    return _MeteredConsumer()
+
+
+class _SlowConsumer:
+    def process(self, block):
+        time.sleep(_SLOW_CONSUMER_DELAY_S)
+
+    def finish(self):
+        return None
+
+
+def slow_consumer(config, key):
+    return _SlowConsumer()
+
+
+class _FailingConsumer:
+    def process(self, block):
+        raise RuntimeError("intentional consumer failure")
+
+    def finish(self):
+        return None
+
+
+def failing_consumer(config, key):
+    return _FailingConsumer()
+
+
+@pytest.mark.timeout(120)
+class TestBlockWorkerPool:
+    def test_results_in_key_order_and_every_block_seen(self):
+        rng = np.random.default_rng(3)
+        blocks = [
+            (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            for n in (100, 1, 4096, 7)
+        ]
+        keys = ["c", "a", "b"]
+        config = {"scales": {"a": 1.0, "b": 2.0, "c": -1.0}}
+        with BlockWorkerPool(summing_consumer, config, keys, jobs=2) as pool:
+            for block in blocks:
+                pool.publish(block)
+            results = pool.join()
+        total = complex(sum(b.sum() for b in blocks))
+        assert [r[0] for r in results] == [len(blocks)] * 3
+        got = [r[1] for r in results]
+        want = [-1.0 * total, 1.0 * total, 2.0 * total]
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_empty_blocks_travel_without_segments(self):
+        config = {"scales": {"k": 1.0}}
+        with BlockWorkerPool(summing_consumer, config, ["k"], jobs=1) as pool:
+            pool.publish(np.empty(0, dtype=np.complex128))
+            pool.publish(np.ones(8, dtype=np.complex128))
+            pool.publish(np.empty(0, dtype=np.complex128))
+            stats_mid = pool.stats()
+            (result,) = pool.join()
+        assert result == (3, 8.0 + 0.0j)
+        assert stats_mid["blocks_published"] == 3
+        assert stats_mid["samples_published"] == 8
+
+    def test_segments_released_after_join(self):
+        config = {"scales": {"k": 1.0}}
+        with BlockWorkerPool(summing_consumer, config, ["k"], jobs=1) as pool:
+            for _ in range(10):
+                pool.publish(np.ones(1024, dtype=np.complex128))
+            pool.join()
+            stats = pool.stats()
+        assert stats["inflight_segments"] == 0
+        # Ack draining is opportunistic, so the peak can be anywhere from
+        # one segment up to every block published — but never more.
+        assert 1 <= stats["peak_inflight_segments"] <= 10
+        assert stats["bytes_shared"] == 10 * 1024 * 16
+
+    def test_worker_error_propagates_with_traceback(self):
+        with BlockWorkerPool(failing_consumer, None, ["k"], jobs=1) as pool:
+            with pytest.raises(RuntimeError, match="intentional consumer failure"):
+                pool.publish(np.ones(4, dtype=np.complex128))
+                pool.join()
+
+    def test_metric_shards_merge_into_parent(self):
+        REGISTRY.enable()
+        REGISTRY.reset()
+        try:
+            with BlockWorkerPool(metered_consumer, None, ["a", "b"], jobs=2) as pool:
+                for _ in range(5):
+                    pool.publish(np.ones(4, dtype=np.complex128))
+                pool.join()
+            counters = REGISTRY.snapshot()["counters"]
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        # Two consumers each saw five blocks.
+        assert counters.get("test.pool.blocks_seen") == 10
+
+    def test_backpressure_try_publish(self):
+        block = np.ones(16, dtype=np.complex128)
+        with BlockWorkerPool(
+            slow_consumer, None, ["k"], jobs=1, queue_blocks=1
+        ) as pool:
+            # A slow consumer must eventually refuse instead of blocking:
+            # queue depth 1 fills after at most a couple of accepts.
+            refused = False
+            for _ in range(8):
+                if not pool.try_publish(block):
+                    refused = True
+                    break
+            assert refused
+            assert not pool.can_accept()
+            pool.join()
+
+    def test_publish_after_close_raises(self):
+        pool = BlockWorkerPool(summing_consumer, {"scales": {"k": 1.0}}, ["k"], jobs=1)
+        pool.close()
+        with pytest.raises(ValueError):
+            pool.publish(np.ones(4, dtype=np.complex128))
+
+    def test_rejects_empty_keys_and_bad_queue(self):
+        with pytest.raises(ValueError):
+            BlockWorkerPool(summing_consumer, None, [], jobs=2)
+        with pytest.raises(ValueError):
+            BlockWorkerPool(summing_consumer, None, ["k"], jobs=1, queue_blocks=0)

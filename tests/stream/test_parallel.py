@@ -10,6 +10,8 @@ because the serial demux bank (:class:`FastChannelBank`) is bit-exact
 with the solo per-channel front ends the workers run.
 """
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -91,3 +93,73 @@ def test_jobs_falls_back_to_serial_for_wideband():
     serial = StreamEngine().run(traffic.blocks(samples, 65536))
     jobbed = StreamEngine().run(traffic.blocks(samples, 65536), jobs=2)
     assert _decode_fields(jobbed) == _decode_fields(serial)
+
+
+def _random_blocks(samples, rng, lo=1, hi=50000):
+    """Yield ``samples`` in random-size cuts (always covers everything)."""
+    pos = 0
+    while pos < samples.size:
+        step = int(rng.integers(lo, hi))
+        yield samples[pos : pos + step]
+        pos += step
+
+
+@pytest.mark.parametrize(
+    "engine_kwargs",
+    (
+        {},
+        {"decimation": 4, "mode": "fast", "working_dtype": np.complex64},
+    ),
+    ids=("exact-full-rate", "decimated-fast-f32"),
+)
+def test_parallel_random_blocks_matches_serial(demux_case, engine_kwargs):
+    """Pooled decode under adversarial blocking: random-size publishes
+    must reproduce the uniform-block serial frames exactly — the
+    transport (shared-memory views, per-worker queues) and the decode
+    chain are both blocking-invariant."""
+    traffic, samples = demux_case
+    serial = StreamEngine(demux=True, **engine_kwargs).run(
+        traffic.blocks(samples, 65536)
+    )
+    parallel = StreamEngine(demux=True, **engine_kwargs).run(
+        _random_blocks(samples, np.random.default_rng(7)), jobs=2
+    )
+    assert serial
+    assert _decode_fields(parallel) == _decode_fields(serial)
+
+
+def test_jobs_ignored_counts_and_warns(caplog, monkeypatch):
+    # A prior CLI test may have wired the "repro" namespace through
+    # configure_logging, which sets propagate=False; restore propagation
+    # so caplog's root handler sees the engine's warning.
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+    traffic = StreamTraffic(
+        [StreamSender(0, zigbee_channel=13, reading_interval_s=0.004)],
+        duration_s=0.02,
+    )
+    samples, truth = traffic.capture(np.random.default_rng(21))
+    assert truth
+    engine = StreamEngine()  # wideband: jobs cannot apply
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        with caplog.at_level("WARNING", logger="repro.stream.engine"):
+            engine.run(traffic.blocks(samples, 65536), jobs=2)
+        counters = REGISTRY.snapshot()["counters"]
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+    assert counters.get("stream.jobs_ignored") == 1
+    assert any("jobs=2 ignored" in rec.message for rec in caplog.records)
+
+
+def test_pool_stats_exposed_after_parallel_run(demux_case):
+    traffic, samples = demux_case
+    engine = StreamEngine(demux=True)
+    assert engine.pool_stats is None
+    engine.run(traffic.blocks(samples, 65536), jobs=2)
+    stats = engine.pool_stats
+    assert stats is not None
+    assert stats["blocks_published"] > 0
+    assert stats["workers"] == 2
+    assert engine.stats()["pool"] == stats

@@ -1,13 +1,29 @@
 """Bounded ring-buffer source: accounting, overruns, iteration."""
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.obs.metrics import REGISTRY
+from repro.runtime.workerpool import BlockWorkerPool
 from repro.stream.ring import RingBufferSource
 
 
 def _block(n=8):
     return np.ones(n, dtype=np.complex128)
+
+
+class _SlowPoolConsumer:
+    def process(self, block):
+        time.sleep(0.05)
+
+    def finish(self):
+        return None
+
+
+def slow_pool_consumer(config, key):
+    return _SlowPoolConsumer()
 
 
 class TestRingBufferSource:
@@ -55,3 +71,55 @@ class TestRingBufferSource:
         assert ring.stats()["depth"] == 2
         ring.pop()
         assert ring.stats()["depth"] == 1
+
+
+class TestRingUnderPipelinedConsumer:
+    """Ring → worker pool with a consumer slower than the producer.
+
+    The contract under backpressure is *loss, not blocking*: when the
+    pool's bounded queues refuse a block the pipelined drain stops
+    popping, the ring fills, and further pushes are dropped and counted
+    as overruns.  Nothing in the path may block the producer, so the
+    whole run is bounded by the timeout marker — a deadlock fails the
+    test rather than hanging the suite.
+    """
+
+    @pytest.mark.timeout(60)
+    def test_backpressure_becomes_overruns_not_deadlock(self):
+        n_blocks, block_len = 12, 64
+        REGISTRY.enable()
+        REGISTRY.reset()
+        try:
+            ring = RingBufferSource(capacity_blocks=2)
+            with BlockWorkerPool(
+                slow_pool_consumer, None, ["k"], jobs=1, queue_blocks=1
+            ) as pool:
+                for k in range(n_blocks):
+                    ring.push(np.full(block_len, k, dtype=np.complex128))
+                    # Pipelined drain: forward only while the pool has room.
+                    while len(ring) and pool.can_accept():
+                        accepted = pool.try_publish(ring.pop())
+                        assert accepted
+                ring.close()
+                # Producer done: the residue may drain with blocking
+                # publishes, which are now bounded by the queue emptying.
+                for block in ring:
+                    pool.publish(block)
+                pool.join()
+            stats = ring.stats()
+            counters = REGISTRY.snapshot()["counters"]
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        # A 50 ms/block consumer against an instant producer must shed
+        # load — and every shed block is accounted, object-level and in
+        # the metric registry.
+        assert stats["overruns"] > 0
+        assert stats["samples_dropped"] == block_len * stats["overruns"]
+        assert stats["blocks_pushed"] + stats["overruns"] == n_blocks
+        assert stats["depth"] == 0
+        assert counters.get("stream.ring.overruns") == stats["overruns"]
+        assert (
+            counters.get("stream.ring.samples_dropped")
+            == stats["samples_dropped"]
+        )
