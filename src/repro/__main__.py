@@ -234,9 +234,77 @@ def _cmd_obs(args):
         print(f"error: {args.path}: {reason}", file=sys.stderr)
         return 2
     except ValueError as error:
+        # Not a run manifest — maybe a live time series from
+        # ``listen --metrics-stream``; summarize that schema instead.
+        from repro.obs import read_metrics_stream, summarize_metrics_stream
+
+        try:
+            samples = read_metrics_stream(args.path)
+        except (OSError, ValueError):
+            samples = []
+        if samples:
+            print(summarize_metrics_stream(samples, path=args.path))
+            return 0
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(summarize_manifest(manifest, metrics, spans))
+    return 0
+
+
+def _cmd_obs_tail(args):
+    import time as _time
+
+    from repro.obs import format_live_line, read_metrics_stream
+    from repro.obs.export import parse_live_record
+
+    if args.follow:
+        try:
+            with open(args.path, encoding="utf-8") as fh:
+                lineno = 0
+                while True:
+                    position = fh.tell()
+                    line = fh.readline()
+                    if not line:
+                        _time.sleep(0.2)
+                        continue
+                    if not line.endswith("\n"):
+                        # Mid-write line: rewind and retry once complete.
+                        fh.seek(position)
+                        _time.sleep(0.2)
+                        continue
+                    lineno += 1
+                    record = parse_live_record(
+                        line, path=args.path, lineno=lineno
+                    )
+                    if record is None:
+                        continue
+                    print(format_live_line(record))
+                    if record.get("final"):
+                        return 0
+        except OSError as error:
+            reason = error.strerror or str(error)
+            print(f"error: {args.path}: {reason}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            return 0
+
+    try:
+        samples = read_metrics_stream(args.path)
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"error: {args.path}: {reason}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not samples:
+        print(f"error: {args.path}: no live records", file=sys.stderr)
+        return 2
+    for sample in samples[-1:] if args.once else samples:
+        print(format_live_line(sample))
     return 0
 
 
@@ -286,12 +354,31 @@ def _cmd_listen(args):
         scenario=scenario,
     )
 
+    live_requested = bool(
+        args.live or args.metrics_stream or args.prom_out
+    )
+    if live_requested and args.live_interval < 0:
+        print("error: --live-interval must be >= 0", file=sys.stderr)
+        return 2
     record = bool(args.metrics_out) or args.trace
-    if record:
+    if record or live_requested:
         obs.REGISTRY.reset()
         if args.trace:
             obs.TRACER.reset()
         obs.enable(trace=args.trace)
+
+    collector = None
+    sinks = []
+    if live_requested:
+        if args.metrics_stream:
+            sinks.append(obs.JsonlSink(args.metrics_stream))
+        if args.prom_out:
+            sinks.append(obs.PrometheusFileSink(args.prom_out))
+        if args.live:
+            sinks.append(obs.TtyDashboard())
+        collector = obs.LiveCollector(
+            interval_s=args.live_interval, sinks=sinks
+        )
 
     rng = np.random.default_rng(args.seed)
     samples, truth = traffic.capture(rng)
@@ -324,16 +411,37 @@ def _cmd_listen(args):
 
     def decode():
         if args.jobs != 1:
-            return engine.run(ring_feed(), jobs=args.jobs)
+            return engine.run(
+                ring_feed(), jobs=args.jobs, collector=collector
+            )
         decoded = []
         for block in ring_feed():
             decoded.extend(engine.process_block(block))
+            if collector is not None:
+                collector.maybe_tick()
         decoded.extend(engine.finish())
         return decoded
 
     t0 = time.perf_counter()
     frames = _profiled(decode) if args.profile else decode()
     elapsed = time.perf_counter() - t0
+
+    if collector is not None:
+        # The final sample carries the end-of-run cumulative totals —
+        # it must land after the decode (including any pool merge).
+        collector.finalize()
+        for sink in sinks:
+            sink.close()
+        if args.metrics_stream:
+            print(
+                f"live telemetry streamed to {args.metrics_stream}",
+                file=sys.stderr,
+            )
+        if args.prom_out:
+            print(
+                f"prometheus exposition written to {args.prom_out}",
+                file=sys.stderr,
+            )
 
     # Score decoded frames against the schedule: each scheduled frame is
     # delivered when some CRC-valid decode on its channel carried its
@@ -392,8 +500,9 @@ def _cmd_listen(args):
                 title="worker pool",
             )
 
-    if record:
+    if record or live_requested:
         obs.disable()
+    if record:
         snapshot = obs.REGISTRY.snapshot()
         spans = obs.TRACER.drain() if args.trace else []
         if args.metrics_out:
@@ -526,8 +635,14 @@ def _cmd_send(args):
 
 
 def _cmd_bench_trajectory(args):
-    from repro.bench.trajectory import print_trajectory
+    from repro.bench.trajectory import print_trajectory, trajectory_report
 
+    if args.json:
+        import json
+
+        report = trajectory_report(args.root)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["artifacts"] else 1
     return print_trajectory(args.root)
 
 
@@ -717,14 +832,56 @@ def build_parser():
         "--trace", action="store_true",
         help="record per-block trace spans (into --metrics-out)",
     )
+    listen.add_argument(
+        "--live", action="store_true",
+        help="print a live telemetry dashboard line per collector tick "
+             "on stderr (throughput, realtime margin, frame/CRC/ring "
+             "health)",
+    )
+    listen.add_argument(
+        "--live-interval", type=float, default=0.5, metavar="SECONDS",
+        help="live collector tick interval; 0 ticks every block "
+             "(default 0.5)",
+    )
+    listen.add_argument(
+        "--metrics-stream", metavar="PATH", default=None,
+        help="append one live-sample JSON line per collector tick to "
+             "PATH (replay with 'obs tail PATH')",
+    )
+    listen.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="rewrite PATH as a Prometheus text exposition on every "
+             "collector tick",
+    )
     listen.set_defaults(func=_cmd_listen)
     obs = sub.add_parser("obs", help="inspect recorded telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summary = obs_sub.add_parser(
         "summary", help="pretty-print a run manifest JSONL"
     )
-    summary.add_argument("path", help="JSONL file from 'run --metrics-out'")
+    summary.add_argument(
+        "path",
+        help="JSONL file from 'run --metrics-out' or a live time series "
+             "from 'listen --metrics-stream'",
+    )
     summary.set_defaults(func=_cmd_obs)
+    tail = obs_sub.add_parser(
+        "tail",
+        help="replay a live telemetry time series as dashboard lines",
+    )
+    tail.add_argument(
+        "path", help="JSONL file from 'listen --metrics-stream'"
+    )
+    tail.add_argument(
+        "--once", action="store_true",
+        help="print only the most recent sample",
+    )
+    tail.add_argument(
+        "--follow", action="store_true",
+        help="keep reading appended samples until the final record "
+             "(or Ctrl-C)",
+    )
+    tail.set_defaults(func=_cmd_obs_tail)
     send = sub.add_parser(
         "send",
         help="deliver one message reliably over a faulted SymBee link "
@@ -786,6 +943,11 @@ def build_parser():
     trajectory.add_argument(
         "--root", default=".", metavar="DIR",
         help="directory holding the artifacts (default: cwd)",
+    )
+    trajectory.add_argument(
+        "--json", action="store_true",
+        help="emit the report as a machine-readable JSON document "
+             "instead of tables",
     )
     trajectory.set_defaults(func=_cmd_bench_trajectory)
     sub.add_parser("survey", help="scenario site survey").set_defaults(

@@ -12,7 +12,11 @@ common schema.  It walks each artifact for the throughput-like leaves
 * a **detail table** — every throughput leaf with its config path.
 
 When ``BENCH_SMOKE_TREND.jsonl`` exists (appended by the CI perf-smoke
-trend gate), its most recent entries are shown as well.
+trend gate), its most recent entries are shown as well; when
+``BENCH_SMOKE_LIVE.jsonl`` exists (a ``listen --metrics-stream`` live
+time series captured by the same job), its throughput envelope is
+summarized too.  ``trajectory_report`` renders the same content as a
+stable machine-readable document (``bench trajectory --json``).
 
 Numbers from different artifacts were recorded in different sessions on
 shared hosts; cross-artifact ratios are indicative only.  The
@@ -32,6 +36,12 @@ _THROUGHPUT_KEYS = {
 
 #: Trend file appended by the CI perf-smoke gate.
 TREND_FILENAME = "BENCH_SMOKE_TREND.jsonl"
+
+#: Live time series captured by the CI perf-smoke job's listen run.
+LIVE_FILENAME = "BENCH_SMOKE_LIVE.jsonl"
+
+#: Version of the ``trajectory_report`` / ``--json`` document shape.
+REPORT_SCHEMA_VERSION = 1
 
 
 def _walk_throughput(obj, path=()):
@@ -98,6 +108,93 @@ def read_trend(root, last=8):
         except ValueError:
             continue
     return entries[-last:]
+
+
+def read_live_summary(root):
+    """Throughput envelope of the perf-smoke live time series, or ``None``.
+
+    Reads ``BENCH_SMOKE_LIVE.jsonl`` (a ``listen --metrics-stream``
+    capture) and reduces it to duration, tick count and the
+    min/mean/max Msps over timed ticks — enough to see whether live
+    throughput sagged mid-run even when the end-to-end average held.
+    """
+    live_path = Path(root) / LIVE_FILENAME
+    if not live_path.exists():
+        return None
+    from repro.obs.export import read_metrics_stream
+
+    try:
+        samples = read_metrics_stream(live_path)
+    except (OSError, ValueError):
+        return None
+    if not samples:
+        return None
+    timed = [s for s in samples if s.get("dt_s", 0.0) > 0.0]
+    msps = [
+        s.get("rates", {}).get("stream.engine.samples_in", 0.0) / 1e6
+        for s in timed
+    ]
+    last = samples[-1]
+    return {
+        "samples": len(samples),
+        "duration_s": float(last.get("elapsed_s", 0.0)),
+        "final": bool(last.get("final", False)),
+        "msps_min": min(msps) if msps else None,
+        "msps_mean": sum(msps) / len(msps) if msps else None,
+        "msps_max": max(msps) if msps else None,
+    }
+
+
+def trajectory_report(root="."):
+    """The trajectory as one stable machine-readable document.
+
+    Schema (``schema_version`` 1)::
+
+        {"schema_version": 1,
+         "root": str,
+         "artifacts": [{"name", "error"?,
+                        "best_streaming": {"config", "effective_msps",
+                                           "x_realtime"} | null,
+                        "throughput": [{"config", "key", "value",
+                                        "unit"}]}],
+         "trend": [trend entries, newest last],
+         "live": read_live_summary() | null}
+    """
+    artifacts = []
+    for artifact in collect_artifacts(root):
+        entry = {"name": artifact["name"]}
+        if "error" in artifact:
+            entry["error"] = artifact["error"]
+        best = _best_streaming(artifact)
+        if best is None:
+            entry["best_streaming"] = None
+        else:
+            path, value, siblings = best
+            realtime = siblings.get("x_realtime")
+            entry["best_streaming"] = {
+                "config": "/".join(path),
+                "effective_msps": value,
+                "x_realtime": (
+                    float(realtime) if realtime is not None else None
+                ),
+            }
+        entry["throughput"] = [
+            {
+                "config": "/".join(path),
+                "key": key,
+                "value": value,
+                "unit": _THROUGHPUT_KEYS[key],
+            }
+            for path, key, value, _siblings in artifact["leaves"]
+        ]
+        artifacts.append(entry)
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "root": str(Path(root).resolve()),
+        "artifacts": artifacts,
+        "trend": read_trend(root),
+        "live": read_live_summary(root),
+    }
 
 
 def print_trajectory(root=".", print_fn=print):
@@ -174,6 +271,17 @@ def print_trajectory(root=".", print_fn=print):
             ("recorded", "cpus", "serial Msps", "jobs=2", "jobs=4"),
             trend_rows,
             title=f"perf-smoke trend (last {len(trend)} of {TREND_FILENAME})",
+        )
+
+    live = read_live_summary(root)
+    if live is not None:
+        fmt = lambda v: f"{v:.2f}" if v is not None else "-"  # noqa: E731
+        print_fn(
+            f"live stream ({LIVE_FILENAME}): {live['samples']} sample(s) "
+            f"over {live['duration_s']:.2f}s, Msps "
+            f"min/mean/max = {fmt(live['msps_min'])}/"
+            f"{fmt(live['msps_mean'])}/{fmt(live['msps_max'])}"
+            + ("" if live["final"] else " (no final record)")
         )
 
     print_fn(

@@ -12,34 +12,59 @@ Three cooperating pieces, all off by default and cheap when off:
   pipeline (the structured successor of ``StageTimings``).
 * :mod:`repro.obs.manifest` — per-run manifest records (seed, config,
   git rev, experiment status, metric snapshot) and JSONL export/import.
+* :mod:`repro.obs.live` / :mod:`repro.obs.export` — the live telemetry
+  plane (PR 7): a periodic :class:`~repro.obs.live.LiveCollector`
+  snapshotting the registry while the run is still going, fanning
+  delta/rate samples out to a JSONL time series, a Prometheus text
+  exposition file, or a TTY dashboard line.
 
 CLI surface: ``python -m repro run <id> --metrics-out run.jsonl --trace``
 records a run, ``python -m repro obs summary run.jsonl`` pretty-prints
-it.  Schemas are documented in ``docs/observability.md``.
+it; ``listen --live --metrics-stream live.jsonl`` streams live samples
+and ``python -m repro obs tail live.jsonl`` replays them.  Schemas are
+documented in ``docs/observability.md``.
 """
 
 import logging
 
+from repro.obs.export import (
+    JsonlSink,
+    PrometheusFileSink,
+    format_live_line,
+    read_metrics_stream,
+    render_prometheus,
+    summarize_metrics_stream,
+)
+from repro.obs.live import LiveCollector, TtyDashboard
 from repro.obs.manifest import (
     build_manifest,
     read_run_jsonl,
     summarize_manifest,
     write_run_jsonl,
 )
-from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.metrics import REGISTRY, MetricsRegistry, snapshot_delta
 from repro.obs.trace import TRACER, Tracer
 
 __all__ = [
     "REGISTRY",
     "TRACER",
+    "JsonlSink",
+    "LiveCollector",
     "MetricsRegistry",
+    "PrometheusFileSink",
     "Tracer",
+    "TtyDashboard",
     "build_manifest",
     "configure_logging",
     "enable",
     "disable",
+    "format_live_line",
+    "read_metrics_stream",
     "read_run_jsonl",
+    "render_prometheus",
+    "snapshot_delta",
     "summarize_manifest",
+    "summarize_metrics_stream",
     "write_run_jsonl",
 ]
 

@@ -31,6 +31,19 @@ Stream shards carry only counters and histograms, whose merge is
 commutative addition, so totals are identical to a serial run no matter
 how keys were partitioned across workers.
 
+Live telemetry (PR 7): with ``telemetry_blocks=N`` each worker also
+ships a :func:`repro.obs.metrics.snapshot_delta` of its registry every N
+processed blocks over a **side queue**, which the parent drains with
+:meth:`BlockWorkerPool.drain_telemetry` and merges into a live preview
+(delta merging is commutative addition, so the arrival order across
+workers does not matter).  The side channel never touches the
+end-of-run path — workers still ship their full final snapshot with the
+``done`` message, and :meth:`join` still merges those in worker-index
+order, so the bit-identical serial/parallel totals contract is intact;
+a consumer of the live preview (``repro.obs.live.LiveCollector``) must
+simply discard it once :meth:`join` has merged the authoritative
+totals.
+
 Consumers must not retain references to the block view after
 ``process`` returns — the parent may unlink the segment as soon as the
 block is acked.  A retained view keeps the *mapping* alive (the worker's
@@ -39,16 +52,28 @@ correctness guarantee.
 """
 
 import queue as queue_mod
+import time
 import traceback
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, snapshot_delta, snapshot_is_empty
 
 _POOL_BLOCKS = REGISTRY.counter("runtime.pool.blocks_published")
 _POOL_BYTES = REGISTRY.counter("runtime.pool.bytes_shared")
 _POOL_SEGMENTS = REGISTRY.gauge("runtime.pool.segments_inflight")
+#: Deepest per-worker descriptor queue at the last publish — the live
+#: backpressure signal: a queue pinned at its bound means that worker is
+#: the realtime bottleneck.
+_POOL_QDEPTH = REGISTRY.gauge("runtime.pool.queue_depth")
+#: Wall seconds :meth:`BlockWorkerPool.publish` spent handing one block
+#: to every worker (shm copy + queue puts).  A fat tail here means the
+#: producer is stalling on full worker queues.
+_PUBLISH_STALL = REGISTRY.histogram(
+    "runtime.pool.publish_stall_seconds",
+    edges=(0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0),
+)
 
 #: Default bound on each worker's descriptor queue — deep enough to keep
 #: a worker busy while the parent reads the next block from the source,
@@ -109,6 +134,8 @@ def _worker_main(
     ack_queue,
     out_queue,
     metrics_enabled,
+    telemetry_blocks=None,
+    telemetry_queue=None,
 ):
     """Worker loop: build consumers once, then map/consume/ack per block.
 
@@ -116,6 +143,10 @@ def _worker_main(
     message is ``("done", worker_index, [(key, result), ...], shard)``;
     any failure ships ``("error", worker_index, traceback_text)`` instead
     so the parent can re-raise with the worker's stack.
+
+    With ``telemetry_blocks`` set, every N-th processed block also ships
+    a registry delta (vs the last shipped snapshot) on the side queue —
+    a live preview that never alters the final ``done`` shard.
     """
     try:
         if metrics_enabled:
@@ -125,6 +156,20 @@ def _worker_main(
             REGISTRY.enable()
             REGISTRY.reset()
         consumers = [(key, factory(config, key)) for key in keys]
+        blocks_done = 0
+        last_shipped = {"counters": {}, "gauges": {}, "histograms": {}}
+
+        def maybe_ship_delta():
+            nonlocal blocks_done, last_shipped
+            blocks_done += 1
+            if telemetry_queue is None or blocks_done % telemetry_blocks:
+                return
+            snapshot = REGISTRY.snapshot()
+            delta = snapshot_delta(snapshot, last_shipped)
+            last_shipped = snapshot
+            if not snapshot_is_empty(delta):
+                telemetry_queue.put((worker_index, delta))
+
         while True:
             descriptor = in_queue.get()
             if descriptor is None:
@@ -136,6 +181,7 @@ def _worker_main(
                 for _key, consumer in consumers:
                     consumer.process(block)
                 ack_queue.put(seq)
+                maybe_ship_delta()
                 continue
             shm, view = _attach_readonly(name, count, np.dtype(dtype_str))
             try:
@@ -145,6 +191,7 @@ def _worker_main(
                 del view
                 _close_quietly(shm)
                 ack_queue.put(seq)
+            maybe_ship_delta()
         results = [(key, consumer.finish()) for key, consumer in consumers]
         shard = REGISTRY.snapshot() if metrics_enabled else None
         out_queue.put(("done", worker_index, results, shard))
@@ -170,6 +217,7 @@ class BlockWorkerPool:
         jobs,
         queue_blocks=DEFAULT_QUEUE_BLOCKS,
         mp_context=None,
+        telemetry_blocks=None,
     ):
         keys = list(keys)
         if not keys:
@@ -178,8 +226,13 @@ class BlockWorkerPool:
         queue_blocks = int(queue_blocks)
         if queue_blocks <= 0:
             raise ValueError("queue_blocks must be positive")
+        if telemetry_blocks is not None:
+            telemetry_blocks = int(telemetry_blocks)
+            if telemetry_blocks <= 0:
+                raise ValueError("telemetry_blocks must be positive")
         self._keys = keys
         self._queue_blocks = queue_blocks
+        self._telemetry_blocks = telemetry_blocks
         ctx = get_context(mp_context)
         n_workers = min(jobs, len(keys))
         self._in_queues = [
@@ -188,6 +241,14 @@ class BlockWorkerPool:
         self._ack_queue = ctx.Queue()
         self._out_queue = ctx.Queue()
         metrics_enabled = REGISTRY.enabled
+        # The side queue only exists when a live consumer asked for it
+        # (and metrics are on, else every delta would be empty); it is
+        # unbounded so workers never block on telemetry.
+        self._telemetry_queue = (
+            ctx.Queue()
+            if telemetry_blocks is not None and metrics_enabled
+            else None
+        )
         self._processes = []
         for index in range(n_workers):
             process = ctx.Process(
@@ -201,6 +262,8 @@ class BlockWorkerPool:
                     self._ack_queue,
                     self._out_queue,
                     metrics_enabled,
+                    telemetry_blocks,
+                    self._telemetry_queue,
                 ),
                 daemon=True,
             )
@@ -215,6 +278,8 @@ class BlockWorkerPool:
         self.samples_published = 0
         self.bytes_shared = 0
         self.peak_segments = 0
+        self.peak_queue_depth = 0
+        self.telemetry_shards_drained = 0
 
     # -- publication --------------------------------------------------------
 
@@ -227,6 +292,7 @@ class BlockWorkerPool:
         """
         if self._closed:
             raise ValueError("publish on a closed pool")
+        t_publish = time.perf_counter()
         self._drain_acks()
         block = np.ascontiguousarray(block)
         seq = self._seq
@@ -249,6 +315,8 @@ class BlockWorkerPool:
         self.blocks_published += 1
         self.samples_published += int(block.size)
         _POOL_BLOCKS.inc()
+        _PUBLISH_STALL.observe(time.perf_counter() - t_publish)
+        self._observe_queue_depth()
 
     def can_accept(self):
         """True when every worker queue has room for one more descriptor.
@@ -269,6 +337,44 @@ class BlockWorkerPool:
             return False
         self.publish(block)
         return True
+
+    # -- live telemetry ------------------------------------------------------
+
+    def drain_telemetry(self):
+        """Drain pending worker metric-delta shards (never blocks).
+
+        Returns a list of :func:`~repro.obs.metrics.snapshot_delta`
+        dicts in arrival order.  The shards are a *preview* of the
+        workers' registries — additive and order-tolerant, but strictly
+        superseded by the full shards :meth:`join` merges; a consumer
+        must drop everything it accumulated from here once the join-time
+        merge lands.  Empty list when the pool was built without
+        ``telemetry_blocks`` (or with metrics disabled).
+        """
+        shards = []
+        if self._telemetry_queue is None:
+            return shards
+        while True:
+            try:
+                _worker_index, shard = self._telemetry_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            shards.append(shard)
+        self.telemetry_shards_drained += len(shards)
+        return shards
+
+    def _observe_queue_depth(self):
+        """Sample the deepest worker queue into gauge + watermark.
+
+        ``Queue.qsize`` is approximate (and unimplemented on some
+        platforms) — fine for a health signal, never for control flow.
+        """
+        try:
+            depth = max(q.qsize() for q in self._in_queues)
+        except NotImplementedError:
+            return
+        self.peak_queue_depth = max(self.peak_queue_depth, depth)
+        _POOL_QDEPTH.set(depth)
 
     # -- completion ---------------------------------------------------------
 
@@ -303,6 +409,14 @@ class BlockWorkerPool:
         # remaining acks are already queued — drain to release segments.
         while self._segments:
             self._drain_acks(blocking=True)
+        # Undrained live deltas are superseded by the full shards below;
+        # discard them so a late drain cannot double-count.
+        if self._telemetry_queue is not None:
+            while True:
+                try:
+                    self._telemetry_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
         self._joined = True
         for worker_index in sorted(shard_by_worker):
             shard = shard_by_worker[worker_index]
@@ -333,7 +447,10 @@ class BlockWorkerPool:
                 pass
         self._segments.clear()
         _POOL_SEGMENTS.set(0)
-        for q in (*self._in_queues, self._ack_queue, self._out_queue):
+        queues = [*self._in_queues, self._ack_queue, self._out_queue]
+        if self._telemetry_queue is not None:
+            queues.append(self._telemetry_queue)
+        for q in queues:
             q.close()
             q.cancel_join_thread()
 
@@ -353,6 +470,8 @@ class BlockWorkerPool:
             "bytes_shared": self.bytes_shared,
             "peak_inflight_segments": self.peak_segments,
             "inflight_segments": len(self._segments),
+            "peak_queue_depth": self.peak_queue_depth,
+            "telemetry_shards_drained": self.telemetry_shards_drained,
         }
 
     # -- internals ----------------------------------------------------------

@@ -47,6 +47,7 @@ the block-size-invariance guarantee is measured against.
 """
 
 import logging
+import time
 
 import numpy as np
 
@@ -74,6 +75,17 @@ _SAMPLES = REGISTRY.counter("stream.engine.samples_in")
 _FRAMES = REGISTRY.counter("stream.engine.frames")
 _SUPPRESSED = REGISTRY.counter("stream.engine.leak_suppressed")
 _JOBS_IGNORED = REGISTRY.counter("stream.jobs_ignored")
+#: Wall-clock health signals (the ``stream.health.*`` / gauge namespace
+#: is *excluded* from the serial==parallel determinism contract: timing
+#: is inherently run-dependent, and workers observe per-channel blocks
+#: where the serial engine observes whole-engine blocks).
+_BLOCK_SECONDS = REGISTRY.histogram(
+    "stream.health.block_seconds",
+    edges=(0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0),
+)
+#: Stream-time over wall-time — >= 1.0 means the decode is holding the
+#: input's realtime line (serial: per block; parallel: cumulative).
+_MARGIN = REGISTRY.gauge("stream.realtime_margin")
 
 _LOG = logging.getLogger(__name__)
 
@@ -307,6 +319,9 @@ class StreamEngine:
 
     def process_block(self, block):
         """Feed one sample block to every channel; return decoded frames."""
+        metered = REGISTRY.enabled
+        if metered:
+            t0 = time.perf_counter()
         # Convert to the working dtype once, not once per channel path.
         block = np.asarray(block, dtype=self.working_dtype or np.complex128)
         with TRACER.span("stream.block", samples=int(block.size)):
@@ -325,6 +340,11 @@ class StreamEngine:
         _SAMPLES.inc(int(block.size))
         if frames:
             _FRAMES.inc(len(frames))
+        if metered:
+            elapsed = time.perf_counter() - t0
+            _BLOCK_SECONDS.observe(elapsed)
+            if elapsed > 0 and block.size:
+                _MARGIN.set((block.size / self.sample_rate) / elapsed)
         return frames
 
     def finish(self):
@@ -414,7 +434,7 @@ class StreamEngine:
         released.sort(key=lambda f: (f.preamble_index, f.zigbee_channel))
         return released
 
-    def run(self, blocks, jobs=None):
+    def run(self, blocks, jobs=None, collector=None):
         """Drain a block source (any iterable, e.g. a ring) and finish.
 
         A :class:`repro.stream.ring.RingBufferSource` iterates its queued
@@ -434,11 +454,20 @@ class StreamEngine:
         (wideband, or a single demux channel) increments the
         ``stream.jobs_ignored`` counter and logs a warning before
         running serial.
+
+        ``collector`` (a :class:`repro.obs.live.LiveCollector`) is
+        offered a tick after every block; in a pooled run the engine
+        also drains the pool's telemetry side queue into it so the live
+        view includes worker progress, then drops that preview once the
+        join-time authoritative shard merge lands.  The caller finalizes
+        the collector after :meth:`run` returns, which is what makes the
+        last sample's cumulative totals equal the end-of-run registry
+        snapshot.
         """
         jobs = resolve_jobs(jobs)
         if jobs != 1:
             if self.demux and len(self._paths) > 1:
-                return self._run_parallel(blocks, jobs)
+                return self._run_parallel(blocks, jobs, collector)
             _JOBS_IGNORED.inc()
             _LOG.warning(
                 "jobs=%d ignored: parallel demux needs demux=True with "
@@ -450,10 +479,12 @@ class StreamEngine:
         frames = []
         for block in blocks:
             frames.extend(self.process_block(block))
+            if collector is not None:
+                collector.maybe_tick()
         frames.extend(self.finish())
         return frames
 
-    def _run_parallel(self, blocks, jobs):
+    def _run_parallel(self, blocks, jobs, collector=None):
         """Persistent-pool per-channel fan-out behind :meth:`run`.
 
         Blocks stream straight from the source into shared memory —
@@ -467,6 +498,7 @@ class StreamEngine:
 
         n_blocks = 0
         n_samples = 0
+        live = collector is not None and REGISTRY.enabled
         with TRACER.span(
             "stream.run_parallel", jobs=int(jobs), channels=len(self._paths)
         ):
@@ -475,17 +507,37 @@ class StreamEngine:
                 self._engine_kwargs,
                 [path.zigbee_channel for path in self._paths],
                 jobs=jobs,
+                telemetry_blocks=1 if live else None,
             )
             try:
+                if live:
+                    t_start = time.perf_counter()
                 for block in blocks:
                     block = np.ascontiguousarray(block, dtype=np.complex128)
                     pool.publish(block)
                     n_blocks += 1
                     n_samples += int(block.size)
+                    if live:
+                        # Cumulative published-stream-time over wall time:
+                        # the producer-side realtime margin.
+                        elapsed = time.perf_counter() - t_start
+                        if elapsed > 0:
+                            _MARGIN.set(
+                                (n_samples / self.sample_rate) / elapsed
+                            )
+                        collector.ingest_shards(pool.drain_telemetry())
+                        collector.maybe_tick()
+                    elif collector is not None:
+                        collector.maybe_tick()
                 results = pool.join()
                 self._pool_stats = pool.stats()
             finally:
                 pool.close()
+            if live:
+                # join() merged the workers' authoritative end-of-run
+                # shards into the registry; the side-queue preview must
+                # go or everything a worker counted would double.
+                collector.drop_side_shards()
             self._worker_session_stats = []
             for frames, session_stats in results:
                 self._pending.extend(frames)

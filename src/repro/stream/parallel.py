@@ -22,14 +22,22 @@ serial and parallel runs report identical frames *and* identical
 ``stream.*`` / ``decoder.*`` metric totals.
 """
 
+import time
+
 import numpy as np
+
+from repro.obs.metrics import REGISTRY
 
 
 class ChannelConsumer:
     """One demux channel driven block-by-block inside a pool worker."""
 
     def __init__(self, engine_kwargs, zigbee_channel):
-        from repro.stream.engine import StreamEngine
+        # Shares the engine's health histogram so worker block timings
+        # land under the same instrument (``stream.health.*`` is outside
+        # the serial==parallel determinism contract — wall-clock values
+        # and observation granularity differ by construction).
+        from repro.stream.engine import _BLOCK_SECONDS, StreamEngine
 
         engine = StreamEngine(
             zigbee_channels=[zigbee_channel], **engine_kwargs
@@ -39,12 +47,18 @@ class ChannelConsumer:
         #: same per-block dtype conversion the serial engine applies in
         #: ``process_block`` keeps the products bit-identical.
         self._dtype = engine.working_dtype or np.complex128
+        self._block_seconds = _BLOCK_SECONDS
         self._frames = []
 
     def process(self, block):
         """Consume one published block; the view is not retained."""
+        metered = REGISTRY.enabled
+        if metered:
+            t0 = time.perf_counter()
         block = np.asarray(block, dtype=self._dtype)
         self._frames.extend(self._path.process_block(block))
+        if metered:
+            self._block_seconds.observe(time.perf_counter() - t0)
 
     def finish(self):
         """Flush front end and session; returns ``(frames, session_stats)``.

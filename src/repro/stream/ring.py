@@ -12,8 +12,11 @@ nonzero drop count means the consumer must use bigger blocks, fewer
 sessions, or a faster machine; the engine never blocks the producer.
 
 Metrics (``repro.obs``): ``stream.ring.blocks_in`` / ``blocks_out`` /
-``overruns`` counters, ``stream.ring.samples_dropped`` counter, and a
-``stream.ring.depth`` gauge sampled at every push.
+``overruns`` counters, ``stream.ring.samples_dropped`` counter, a
+``stream.ring.depth`` gauge sampled at every push, and a
+``stream.ring.high_watermark`` gauge holding the deepest the ring has
+been — the early-warning companion to ``overruns``: a watermark hugging
+capacity on a clean run says the next slow block loses samples.
 """
 
 from collections import deque
@@ -25,6 +28,7 @@ _BLOCKS_OUT = REGISTRY.counter("stream.ring.blocks_out")
 _OVERRUNS = REGISTRY.counter("stream.ring.overruns")
 _SAMPLES_DROPPED = REGISTRY.counter("stream.ring.samples_dropped")
 _DEPTH = REGISTRY.gauge("stream.ring.depth")
+_HIGH_WATERMARK = REGISTRY.gauge("stream.ring.high_watermark")
 
 
 class RingBufferSource:
@@ -41,6 +45,7 @@ class RingBufferSource:
         self.samples_pushed = 0
         self.samples_dropped = 0
         self.overruns = 0
+        self.high_watermark = 0
 
     def __len__(self):
         return len(self._queue)
@@ -59,6 +64,9 @@ class RingBufferSource:
         self._queue.append(block)
         self.blocks_pushed += 1
         self.samples_pushed += len(block)
+        if len(self._queue) > self.high_watermark:
+            self.high_watermark = len(self._queue)
+            _HIGH_WATERMARK.set(self.high_watermark)
         _BLOCKS_IN.inc()
         _DEPTH.set(len(self._queue))
         return True
@@ -92,4 +100,5 @@ class RingBufferSource:
             "samples_dropped": self.samples_dropped,
             "overruns": self.overruns,
             "depth": len(self._queue),
+            "high_watermark": self.high_watermark,
         }

@@ -55,6 +55,14 @@ class ArqSender:
         end = min(self.base + self.window, self.frag_count)
         return range(self.base, end)
 
+    def in_flight(self):
+        """Window fragments transmitted at least once and still unacked."""
+        return sum(
+            1
+            for k in self._window_indexes()
+            if self.attempts[k] > 0 and not self.acked[k]
+        )
+
     # -- sending -------------------------------------------------------------
 
     def next_tx(self, now_s):

@@ -62,6 +62,10 @@ _M_ATTEMPTS = REGISTRY.histogram(
     "transport.attempts", edges=(1, 2, 3, 4, 6, 8, 12)
 )
 _M_GOODPUT = REGISTRY.gauge("transport.goodput_bps")
+_M_IN_FLIGHT = REGISTRY.gauge("transport.window_in_flight")
+_M_FEC_SCHEME = REGISTRY.gauge("transport.fec_scheme")
+_M_LINK_QUALITY = REGISTRY.gauge("transport.link_quality")
+_M_EST_BER = REGISTRY.gauge("transport.estimated_ber")
 
 
 @dataclass(frozen=True)
@@ -206,6 +210,9 @@ class _Endpoint:
                     if self.arq.last_tx_s[k] is not None:
                         _M_RTT.observe(delivery.arrival_s - self.arq.last_tx_s[k])
                     _M_ATTEMPTS.observe(self.arq.attempts[k])
+                _M_LINK_QUALITY.set(delivery.record.quality)
+                _M_EST_BER.set(self.policy.estimated_ber)
+                _M_IN_FLIGHT.set(self.arq.in_flight())
 
     def maybe_send_ack(self, now_s):
         """Receiver pushes its current state when the side channel frees up.
@@ -303,6 +310,8 @@ class _Endpoint:
                 _M_RETRANSMITS.inc()
             if accepted:
                 _M_FRAG_DELIVERED.inc()
+            _M_FEC_SCHEME.set(scheme)
+            _M_IN_FLIGHT.set(self.arq.in_flight())
         end_s = now_s + airtime_s
         self.maybe_send_ack(end_s)
         return airtime_s

@@ -4,6 +4,26 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _obs_state_guard():
+    """Never leak process-wide telemetry state between tests.
+
+    The metrics registry and tracer are process singletons; a test that
+    enables them (or records events) and fails before its own cleanup
+    would silently meter every later test.  Teardown-only on purpose:
+    ``tests/obs/conftest.py`` asserts entry cleanliness, so a leak shows
+    up as a failure at the leaking test's teardown, not as mystery
+    counts three files later.
+    """
+    yield
+    from repro.obs import REGISTRY, TRACER
+
+    REGISTRY.disable()
+    REGISTRY.reset()
+    TRACER.disable()
+    TRACER.reset()
+
+
 @pytest.fixture
 def rng():
     """Deterministic generator; per-test isolation via fixed seed."""

@@ -7,9 +7,17 @@ from repro.obs import REGISTRY, TRACER
 
 @pytest.fixture(autouse=True)
 def _clean_obs():
-    REGISTRY.disable()
+    # Entry must already be clean: the suite-wide teardown guard in
+    # tests/conftest.py resets after every test, so dirty state here
+    # means some test mutated telemetry outside any fixture's watch.
+    assert not REGISTRY.enabled, "registry left enabled by an earlier test"
+    assert not TRACER.enabled, "tracer left enabled by an earlier test"
+    snapshot = REGISTRY.snapshot()
+    assert not snapshot["counters"], "registry counters leaked between tests"
+    assert not snapshot["histograms"], (
+        "registry histograms leaked between tests"
+    )
     REGISTRY.reset()
-    TRACER.disable()
     TRACER.reset()
     yield
     REGISTRY.disable()

@@ -1,0 +1,137 @@
+"""Live collection over a pooled demux run: preview, then exact totals.
+
+The acceptance contract for the live plane: running
+``StreamEngine.run(jobs=N)`` with a collector attached must (a) leave the
+decoded frames bit-identical to a serial run, (b) produce a JSONL time
+series whose final cumulative totals equal the end-of-run registry
+snapshot *exactly* — the worker-shard preview merged during the run must
+never leak into the authoritative totals — and (c) emit at least one
+mid-run sample, or it is not live telemetry at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.obs import REGISTRY, JsonlSink, LiveCollector, read_metrics_stream
+from repro.stream.engine import StreamEngine
+
+
+@pytest.fixture(scope="module")
+def demux_case():
+    senders = [
+        StreamSender(0, zigbee_channel=11, reading_interval_s=0.006),
+        StreamSender(1, zigbee_channel=13, reading_interval_s=0.006),
+        StreamSender(2, zigbee_channel=14, reading_interval_s=0.006),
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.02)
+    samples, truth = traffic.capture(np.random.default_rng(20260808))
+    assert truth
+    return traffic, samples
+
+
+def _decode_fields(frames):
+    return [frame.decode_fields() for frame in frames]
+
+
+@pytest.mark.timeout(120)
+def test_pooled_live_stream_final_totals_match_registry(
+    demux_case, tmp_path
+):
+    traffic, samples = demux_case
+
+    serial_frames = StreamEngine(demux=True).run(
+        traffic.blocks(samples, 16384)
+    )
+    assert serial_frames
+
+    path = tmp_path / "live.jsonl"
+    sink = JsonlSink(str(path))
+    # interval 0 -> one sample per published block, so even a short run
+    # exercises the mid-run sample path deterministically.
+    collector = LiveCollector(interval_s=0, sinks=[sink])
+    engine = StreamEngine(demux=True)
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        frames = engine.run(
+            traffic.blocks(samples, 16384), jobs=2, collector=collector
+        )
+        collector.finalize()
+        snapshot = REGISTRY.snapshot()
+    finally:
+        sink.close()
+        REGISTRY.disable()
+        REGISTRY.reset()
+
+    assert _decode_fields(frames) == _decode_fields(serial_frames)
+
+    records = read_metrics_stream(str(path))
+    assert len(records) >= 2, "expected mid-run samples plus a final one"
+    assert not any(r["final"] for r in records[:-1])
+    final = records[-1]
+    assert final["final"] is True
+
+    # The exact-equality acceptance gate: cumulative totals of the last
+    # sample == the end-of-run registry snapshot, nothing double-counted
+    # from the worker-shard preview.
+    assert final["counters"] == snapshot["counters"]
+    assert final["gauges"] == snapshot["gauges"]
+    assert final["histograms"] == {
+        name: {"count": data["count"], "total": data["total"]}
+        for name, data in snapshot["histograms"].items()
+    }
+
+    # The preview actually happened: some mid-run sample carried
+    # worker-side decode activity before the join-time merge landed.
+    assert any(
+        any(name.startswith("decoder.") for name in record["counters"])
+        for record in records[:-1]
+    )
+
+    # Sanity on the monotonic cumulative contract.
+    seen = 0
+    for record in records:
+        value = record["counters"].get("stream.engine.samples_in", 0)
+        assert value >= seen
+        seen = value
+    assert seen == samples.size
+
+
+@pytest.mark.timeout(120)
+def test_pool_telemetry_disabled_without_collector(demux_case):
+    """No collector -> no telemetry side queue, stats stay quiet."""
+    traffic, samples = demux_case
+    engine = StreamEngine(demux=True)
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        engine.run(traffic.blocks(samples, 16384), jobs=2)
+        stats = engine.pool_stats
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+    assert stats["telemetry_shards_drained"] == 0
+
+
+@pytest.mark.timeout(120)
+def test_serial_run_with_collector_ticks(demux_case, tmp_path):
+    traffic, samples = demux_case
+    path = tmp_path / "serial.jsonl"
+    sink = JsonlSink(str(path))
+    collector = LiveCollector(interval_s=0, sinks=[sink])
+    engine = StreamEngine(demux=True)
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        engine.run(traffic.blocks(samples, 16384), collector=collector)
+        collector.finalize()
+        snapshot = REGISTRY.snapshot()
+    finally:
+        sink.close()
+        REGISTRY.disable()
+        REGISTRY.reset()
+    records = read_metrics_stream(str(path))
+    assert len(records) >= 2
+    assert records[-1]["final"] is True
+    assert records[-1]["counters"] == snapshot["counters"]

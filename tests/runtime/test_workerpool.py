@@ -145,6 +145,95 @@ class TestBlockWorkerPool:
         # Two consumers each saw five blocks.
         assert counters.get("test.pool.blocks_seen") == 10
 
+    def test_telemetry_shards_preview_worker_activity(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        REGISTRY.enable()
+        REGISTRY.reset()
+        try:
+            with BlockWorkerPool(
+                metered_consumer, None, ["a", "b"], jobs=2,
+                telemetry_blocks=1,
+            ) as pool:
+                shards = []
+                for _ in range(6):
+                    pool.publish(np.ones(4, dtype=np.complex128))
+                    shards.extend(pool.drain_telemetry())
+                deadline = time.monotonic() + 30.0
+                # Workers ship a delta after acking each block; wait for
+                # the side queue to carry at least one before joining.
+                while not shards and time.monotonic() < deadline:
+                    shards.extend(pool.drain_telemetry())
+                    time.sleep(0.01)
+                pool.join()
+                stats = pool.stats()
+            counters = REGISTRY.snapshot()["counters"]
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert shards, "no telemetry shards arrived before join"
+        assert stats["telemetry_shards_drained"] == len(shards)
+        # A drained shard previews a subset of the authoritative totals:
+        # merging every shard can never exceed the join-time merge.
+        preview = MetricsRegistry()
+        for shard in shards:
+            preview.merge(shard)
+        previewed = preview.snapshot()["counters"].get(
+            "test.pool.blocks_seen", 0
+        )
+        assert 0 < previewed <= 12
+        assert counters.get("test.pool.blocks_seen") == 12
+
+    def test_join_discards_undrained_telemetry(self):
+        REGISTRY.enable()
+        REGISTRY.reset()
+        try:
+            with BlockWorkerPool(
+                metered_consumer, None, ["a", "b"], jobs=2,
+                telemetry_blocks=1,
+            ) as pool:
+                for _ in range(5):
+                    pool.publish(np.ones(4, dtype=np.complex128))
+                # Never drain: join must throw the preview away so the
+                # authoritative shard merge is the only contribution.
+                pool.join()
+            counters = REGISTRY.snapshot()["counters"]
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert counters.get("test.pool.blocks_seen") == 10
+
+    def test_telemetry_off_by_default_and_when_disabled(self):
+        # No telemetry_blocks: no side queue at all.
+        with BlockWorkerPool(metered_consumer, None, ["a"], jobs=1) as pool:
+            pool.publish(np.ones(4, dtype=np.complex128))
+            assert pool.drain_telemetry() == []
+            pool.join()
+            assert pool.stats()["telemetry_shards_drained"] == 0
+        # telemetry_blocks with a disabled registry: nothing to ship.
+        with BlockWorkerPool(
+            metered_consumer, None, ["a"], jobs=1, telemetry_blocks=1
+        ) as pool:
+            pool.publish(np.ones(4, dtype=np.complex128))
+            pool.join()
+            assert pool.stats()["telemetry_shards_drained"] == 0
+
+    def test_telemetry_blocks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockWorkerPool(
+                metered_consumer, None, ["a"], jobs=1, telemetry_blocks=0
+            )
+
+    def test_peak_queue_depth_tracked(self):
+        with BlockWorkerPool(
+            slow_consumer, None, ["k"], jobs=1, queue_blocks=4
+        ) as pool:
+            for _ in range(4):
+                pool.publish(np.ones(4, dtype=np.complex128))
+            stats_mid = pool.stats()
+            pool.join()
+        assert stats_mid["peak_queue_depth"] >= 1
+
     def test_backpressure_try_publish(self):
         block = np.ones(16, dtype=np.complex128)
         with BlockWorkerPool(

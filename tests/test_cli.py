@@ -110,6 +110,191 @@ class TestListen:
         assert "senders" in capsys.readouterr().err
 
 
+class TestLiveTelemetry:
+    def _listen_with_stream(self, tmp_path, *extra):
+        stream_path = tmp_path / "live.jsonl"
+        code = main(
+            [
+                "listen",
+                "--senders", "1",
+                "--duration", "0.02",
+                "--seed", "11",
+                "--wideband",
+                "--metrics-stream", str(stream_path),
+                "--live-interval", "0",
+                *extra,
+            ]
+        )
+        return code, stream_path
+
+    def test_metrics_stream_writes_live_jsonl(self, tmp_path, capsys):
+        code, stream_path = self._listen_with_stream(tmp_path)
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "live telemetry streamed to" in err
+        import json
+
+        records = [
+            json.loads(line)
+            for line in stream_path.read_text().splitlines()
+        ]
+        assert records
+        assert all(r["type"] == "live" for r in records)
+        assert records[-1]["final"] is True
+
+    def test_live_prints_dashboard_lines(self, tmp_path, capsys):
+        code, _ = self._listen_with_stream(tmp_path, "--live")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "Msps" in err
+        assert "[final]" in err
+
+    def test_prom_out_written(self, tmp_path, capsys):
+        prom_path = tmp_path / "metrics.prom"
+        code, _ = self._listen_with_stream(
+            tmp_path, "--prom-out", str(prom_path)
+        )
+        assert code == 0
+        capsys.readouterr()
+        text = prom_path.read_text()
+        assert "repro_stream_engine_blocks" in text
+
+    def test_obs_tail_replays_and_once(self, tmp_path, capsys):
+        code, stream_path = self._listen_with_stream(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if "Msps" in line]
+        assert len(lines) >= 2
+        assert lines[-1].endswith("[final]")
+        assert main(["obs", "tail", "--once", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Msps") == 1
+        assert "[final]" in out
+
+    def test_obs_tail_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "tail", str(missing)]) == 2
+        assert f"error: {missing}" in capsys.readouterr().err
+
+    def test_obs_tail_malformed_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["obs", "tail", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert f"error: {bad}:1: not valid JSONL" in err
+
+    def test_obs_tail_no_live_records(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"type": "manifest"}\n')
+        assert main(["obs", "tail", str(empty)]) == 2
+        assert "no live records" in capsys.readouterr().err
+
+    def test_obs_summary_learns_live_schema(self, tmp_path, capsys):
+        code, stream_path = self._listen_with_stream(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", str(stream_path)]) == 0
+        out = capsys.readouterr().out
+        assert "live telemetry stream" in out
+        assert "stream.engine.samples_in" in out
+
+    def test_rejects_negative_live_interval(self, capsys):
+        assert (
+            main(
+                [
+                    "listen",
+                    "--senders", "1",
+                    "--live",
+                    "--live-interval", "-1",
+                ]
+            )
+            == 2
+        )
+        assert "--live-interval" in capsys.readouterr().err
+
+
+class TestBenchTrajectory:
+    def test_json_report_schema(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        (tmp_path / "BENCH_X.json").write_text(
+            json.dumps(
+                {
+                    "streaming": {
+                        "effective_msps": 12.5,
+                        "x_realtime": 0.625,
+                    }
+                }
+            )
+        )
+        (tmp_path / "BENCH_SMOKE_LIVE.jsonl").write_text(
+            json.dumps(
+                {
+                    "type": "live",
+                    "seq": 0,
+                    "elapsed_s": 1.0,
+                    "dt_s": 1.0,
+                    "final": True,
+                    "counters": {},
+                    "rates": {"stream.engine.samples_in": 5e6},
+                    "gauges": {},
+                    "histograms": {},
+                }
+            )
+            + "\n"
+        )
+        assert (
+            main(["bench", "trajectory", "--root", str(tmp_path), "--json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        (artifact,) = report["artifacts"]
+        assert artifact["name"] == "BENCH_X"
+        assert artifact["best_streaming"]["effective_msps"] == 12.5
+        assert artifact["best_streaming"]["config"] == "streaming"
+        assert artifact["throughput"][0]["unit"] == "Msps"
+        assert report["live"]["samples"] == 1
+        assert report["live"]["msps_mean"] == 5.0
+        assert report["live"]["final"] is True
+
+    def test_json_empty_root_exits_nonzero(self, tmp_path, capsys):
+        assert (
+            main(["bench", "trajectory", "--root", str(tmp_path), "--json"])
+            == 1
+        )
+        report_text = capsys.readouterr().out
+        import json
+
+        assert json.loads(report_text)["artifacts"] == []
+
+    def test_table_report_mentions_live_stream(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_X.json").write_text(
+            json.dumps({"streaming": {"effective_msps": 1.0}})
+        )
+        (tmp_path / "BENCH_SMOKE_LIVE.jsonl").write_text(
+            json.dumps(
+                {
+                    "type": "live",
+                    "elapsed_s": 2.0,
+                    "dt_s": 1.0,
+                    "final": True,
+                    "rates": {"stream.engine.samples_in": 2e6},
+                    "counters": {},
+                }
+            )
+            + "\n"
+        )
+        assert main(["bench", "trajectory", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_SMOKE_LIVE.jsonl" in out
+        assert "min/mean/max" in out
+
+
 class TestSend:
     def test_clean_link_delivers(self, capsys):
         assert (
