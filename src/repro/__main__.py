@@ -634,6 +634,136 @@ def _cmd_send(args):
     return 0 if result.byte_exact else 1
 
 
+def _cmd_simulate(args):
+    import json
+
+    from repro import obs
+    from repro.experiments.common import print_table
+    from repro.sim import load_manifest, run_campaign
+
+    try:
+        manifest = load_manifest(args.manifest) if args.manifest else {}
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    # Flags override manifest entries (a manifest is the durable record;
+    # flags are for quick what-ifs on top of it).
+    if args.seed is not None:
+        manifest["seed"] = args.seed
+    if args.duration is not None:
+        manifest["duration_s"] = args.duration
+    if args.fidelity:
+        manifest["fidelity"] = args.fidelity
+    topology = dict(manifest.get("topology") or {})
+    if args.topology:
+        topology["kind"] = args.topology
+    if args.nodes is not None:
+        topology["n_nodes"] = args.nodes
+    if topology:
+        manifest["topology"] = topology
+    comm = dict(manifest.get("comm") or {})
+    if args.scenario:
+        comm["scenario"] = args.scenario
+    if args.fec:
+        comm["fec"] = args.fec
+    if args.snr_margin is not None:
+        comm["snr_margin_db"] = args.snr_margin
+    if comm:
+        manifest["comm"] = comm
+    traffic = dict(manifest.get("traffic") or {})
+    if args.interval is not None:
+        traffic["interval_s"] = args.interval
+    if args.max_retries is not None:
+        traffic["max_retries"] = args.max_retries
+    if traffic:
+        manifest["traffic"] = traffic
+
+    record = bool(args.metrics_out) or args.trace
+    if record:
+        obs.REGISTRY.reset()
+        if args.trace:
+            obs.TRACER.reset()
+        obs.enable(trace=args.trace)
+
+    t0 = time.perf_counter()
+    try:
+        result = run_campaign(
+            manifest, cache_dir=args.cache_dir, jobs=args.jobs
+        )
+    except (TypeError, ValueError) as error:
+        if record:
+            obs.disable()
+        print(f"simulate: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+
+    summary = result.summary()
+    latency = summary["latency"]
+    rows = [
+        ("fidelity", summary["fidelity"]),
+        ("seed", str(summary["seed"])),
+        ("nodes / domains", f"{summary['n_nodes']} / {summary['n_domains']}"),
+        ("sim duration", f"{summary['duration_s']:g} s"),
+        ("frames offered", str(summary["offered"])),
+        ("delivered", str(summary["delivered"])),
+        ("delivery ratio", f"{summary['delivery_ratio']:.4f}"),
+        ("collided", str(summary["collided"])),
+        ("lost", str(summary["lost"])),
+        ("retries", str(summary["retries"])),
+        ("csma defers", str(summary["csma_defers"])),
+        ("skipped (node down)", str(summary["skipped_down"])),
+        ("channel utilization", f"{summary['utilization']:.4f}"),
+        (
+            "latency",
+            f"{latency['mean_ms']:.2f} ms mean, "
+            f"{latency['p50_ms']:.2f}/{latency['p95_ms']:.2f} p50/p95",
+        ),
+        ("events", str(summary["events_processed"])),
+        (
+            "wall clock",
+            f"{elapsed:.2f} s "
+            f"({summary['offered'] / max(elapsed, 1e-9):.0f} frames/s)",
+        ),
+    ]
+    print_table(
+        ("field", "value"),
+        rows,
+        title=f"fleet campaign: {summary['name']}",
+    )
+
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as fh:
+            fh.write(result.summary_json() + "\n")
+        print(f"summary written to {args.summary_out}", file=sys.stderr)
+
+    if record:
+        obs.disable()
+        snapshot = obs.REGISTRY.snapshot()
+        spans = obs.TRACER.drain() if args.trace else []
+        if args.metrics_out:
+            run_manifest = obs.build_manifest(
+                experiments=[
+                    {
+                        "id": f"simulate:{summary['name']}",
+                        "status": "ok",
+                        "elapsed_seconds": round(elapsed, 3),
+                        "error": None,
+                    }
+                ],
+                seed=summary["seed"],
+                metrics=snapshot,
+                argv=sys.argv[1:],
+                n_spans=len(spans),
+            )
+            obs.write_run_jsonl(
+                args.metrics_out, run_manifest, snapshot=snapshot, spans=spans
+            )
+            print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+
+    return 0
+
+
 def _cmd_bench_trajectory(args):
     from repro.bench.trajectory import print_trajectory, trajectory_report
 
@@ -704,7 +834,7 @@ def _cmd_info(_args):
     print(f"speedup vs C-Morse:    {speedup_versus(215.0):.1f}x")
     print(
         "metric namespaces:     "
-        "link.* decoder.* preamble.* network.* stream.* transport.*"
+        "link.* decoder.* preamble.* network.* stream.* transport.* sim.*"
     )
     return 0
 
@@ -934,6 +1064,73 @@ def build_parser():
         help="record transport trace spans (into --metrics-out)",
     )
     send.set_defaults(func=_cmd_send)
+    simulate = sub.add_parser(
+        "simulate", help="fleet-scale discrete-event network campaign"
+    )
+    simulate.add_argument(
+        "manifest", nargs="?", default=None, metavar="MANIFEST",
+        help="scenario manifest (JSON); flags below override its entries",
+    )
+    simulate.add_argument(
+        "--nodes", type=int, default=None,
+        help="sensor count (grid/random topologies)",
+    )
+    simulate.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="simulated seconds of traffic generation",
+    )
+    simulate.add_argument(
+        "--topology", choices=("grid", "random", "cluster"), default=None,
+        help="node placement model",
+    )
+    simulate.add_argument(
+        "--fidelity", choices=("packet", "sample"), default=None,
+        help="packet = calibrated fast path, sample = full PHY per frame",
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--scenario", default=None,
+        help="channel scenario name (see 'survey')",
+    )
+    simulate.add_argument(
+        "--fec", choices=("none", "hamming", "conv"), default=None,
+        help="link-layer FEC scheme",
+    )
+    simulate.add_argument(
+        "--snr-margin", type=float, default=None, metavar="DB",
+        help="link SNR at 1 m reference distance (positions the fleet "
+             "on the delivery curve)",
+    )
+    simulate.add_argument(
+        "--interval", type=float, default=None, metavar="S",
+        help="mean per-node reading interval (Poisson)",
+    )
+    simulate.add_argument(
+        "--max-retries", type=int, default=None,
+        help="MAC retries per frame",
+    )
+    simulate.add_argument(
+        "--summary-out", metavar="PATH", default=None,
+        help="write the deterministic campaign summary JSON to PATH",
+    )
+    simulate.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="delivery-table cache directory (default ~/.cache/repro/sim)",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for table calibration",
+    )
+    simulate.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a run manifest + metric/span JSONL streams to PATH",
+    )
+    simulate.add_argument(
+        "--trace", action="store_true",
+        help="record sim trace spans (into --metrics-out)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
     bench = sub.add_parser("bench", help="benchmark artifact tooling")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     trajectory = bench_sub.add_parser(

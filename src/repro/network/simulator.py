@@ -26,6 +26,7 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.runtime import as_seed_sequence, run_trials
 from repro.runtime.timing import StageTimings
+from repro.sim.scheduler import EventScheduler
 from repro.zigbee.csma import CsmaCa
 from repro.zigbee.frame import ppdu_duration_seconds
 from repro.zigbee.mac import MAC_OVERHEAD_BYTES
@@ -306,7 +307,17 @@ class ConvergecastNetwork:
         return result
 
     def _run_events(self):
-        """The MAC/PHY event loop behind :meth:`run`."""
+        """The MAC/PHY event loop behind :meth:`run`.
+
+        Events run on a :class:`repro.sim.EventScheduler`: one event per
+        frame attempt, retries rescheduling themselves.  The scheduler's
+        deterministic (time, insertion) tie-breaking reproduces the
+        historical sorted-list ordering exactly — a retry's time never
+        precedes its own trigger event, so at equal timestamps the
+        insertion order is the processing order in both schemes — which
+        keeps every ``self.rng`` draw, and therefore every result,
+        bit-identical across the refactor.
+        """
         arrivals = self._generate_arrivals()
         result = NetworkResult(
             readings_generated=len(arrivals), sim_duration_s=self.sim_duration_s
@@ -314,15 +325,9 @@ class ConvergecastNetwork:
         node_free_at = {node.node_id: 0.0 for node in self.nodes}
         defer_phy = self.max_retries == 0
         deferred = []  # (record, phy task) pairs when defer_phy
+        scheduler = EventScheduler()
 
-        pending = []
-        for created, node, sequence in arrivals:
-            pending.append((created, node, sequence, 0))
-
-        index = 0
-        while index < len(pending):
-            created, node, sequence, attempt = pending[index]
-            index += 1
+        def attempt_event(created, node, sequence, attempt):
             start_floor = max(created, node_free_at[node.node_id])
 
             def hears(start_s, duration_s, _node_id=node.node_id):
@@ -333,11 +338,15 @@ class ConvergecastNetwork:
                 _M_CSMA_FAILURES.inc()
                 if attempt < self.max_retries:
                     _M_RETRIES.inc()
-                    pending.append(
-                        (outcome.tx_time_s, node, sequence, attempt + 1)
+                    scheduler.at(
+                        outcome.tx_time_s,
+                        attempt_event,
+                        outcome.tx_time_s,
+                        node,
+                        sequence,
+                        attempt + 1,
                     )
-                    pending.sort(key=lambda item: item[0])
-                continue
+                return
 
             duration = self._frame_airtime(node)
             record = TransmissionRecord(
@@ -381,8 +390,18 @@ class ConvergecastNetwork:
             result.records.append(record)
             if not record.delivered and attempt < self.max_retries:
                 _M_RETRIES.inc()
-                pending.append((record.end_s, node, sequence, attempt + 1))
-                pending.sort(key=lambda item: item[0])
+                scheduler.at(
+                    record.end_s,
+                    attempt_event,
+                    record.end_s,
+                    node,
+                    sequence,
+                    attempt + 1,
+                )
+
+        for created, node, sequence in arrivals:
+            scheduler.at(created, attempt_event, created, node, sequence, 0)
+        scheduler.run()
 
         if deferred:
             outcomes = run_trials(

@@ -15,6 +15,15 @@ The schedule doubles as ground truth: every
 :class:`ScheduledTransmission` records the sender, sequence, data bits
 and sample offsets, so tests and the ``repro listen`` CLI can score
 decoded frames against what was actually sent.
+
+Seeded-RNG contract: this module draws randomness *only* from the
+``rng`` generator passed explicitly to :meth:`StreamTraffic.schedule` /
+:meth:`StreamTraffic.capture` — arrival gaps, payload bits, channel
+fading and front-end noise all share that one stream, and nothing here
+touches the global ``numpy.random`` state.  Two captures from
+identically seeded generators are sample-identical regardless of what
+any other code seeded globally (regression-tested in
+``tests/test_network.py``).
 """
 
 from dataclasses import dataclass

@@ -1,0 +1,229 @@
+"""Link budget and frame delivery: the glue between fleet and PHY.
+
+The communication model turns *where a node is* (topology + mobility)
+and *what the channel is doing* (noise model) into a link SNR via the
+scenario's log-distance budget, then decides each frame's fate at one of
+two fidelities:
+
+``packet``
+    One lookup in the calibrated :class:`~repro.sim.fastpath.DeliveryTable`
+    plus one uniform draw — microseconds per frame, suitable for
+    fleet-scale campaigns.
+
+``sample``
+    The real sample-level PHY: a :class:`~repro.core.link.SymBeeLink`
+    pinned at the computed SNR with the same interference construction
+    the calibration used, seeded per (node, sequence, attempt) so
+    outcomes are independent of event-processing order.  Milliseconds
+    per frame — the ground truth the packet path is validated against.
+
+Mirrors ``CommunicationModel.py`` of the SLP simulator referenced in
+ROADMAP.md.
+
+The hot path deliberately uses ``math`` scalars (not numpy) for the
+budget arithmetic: at fleet scale the budget runs a few hundred thousand
+times per campaign.
+"""
+
+import math
+
+import numpy as np
+
+from repro.channel.path_loss import FREE_SPACE_REFERENCE_LOSS_DB
+from repro.channel.scenarios import get_scenario
+from repro.sim.fastpath import (
+    CalibrationConfig,
+    DeliveryTable,
+    _one_frame,
+    make_calibration_link,
+)
+
+FIDELITIES = ("packet", "sample")
+
+
+class DeliveryOutcome:
+    """What happened to one frame attempt."""
+
+    __slots__ = ("delivered", "snr_db", "interferers", "probability")
+
+    def __init__(self, delivered, snr_db, interferers, probability=None):
+        self.delivered = delivered
+        self.snr_db = snr_db
+        self.interferers = interferers
+        self.probability = probability
+
+
+class CommunicationModel:
+    """Scenario link budget + per-frame delivery at either fidelity.
+
+    ``snr_margin_db`` positions the fleet on the delivery curve: it is
+    the link SNR a node would see at the topology's reference distance
+    of 1 m before shadowing and noise — i.e. transmit power is chosen as
+    ``noise_floor + reference_loss + snr_margin_db``.  Campaigns tune it
+    (rather than raw dBm) so the same manifest stays meaningful across
+    scenarios with different exponents.
+
+    ``calibration`` holds keyword overrides for the
+    :class:`CalibrationConfig` distilled at bind time (grid, trial
+    count, interferer construction); the FEC scheme, payload size and
+    interferer-column count are always derived from this model and the
+    bound noise model so the table provably covers what the campaign
+    will ask of it.
+    """
+
+    def __init__(
+        self,
+        scenario="office",
+        snr_margin_db=58.0,
+        fec="none",
+        data_bits=16,
+        shadowing=True,
+        calibration=None,
+    ):
+        self.scenario = (
+            get_scenario(scenario) if isinstance(scenario, str) else scenario
+        )
+        self.snr_margin_db = float(snr_margin_db)
+        self.fec = str(fec)
+        self.data_bits = int(data_bits)
+        self.shadowing = bool(shadowing)
+        self.calibration_overrides = dict(calibration or {})
+        self.fidelity = "packet"
+        self.table = None
+        self._cal_config = None
+        # Budget constants (scenario-derived, bind-independent).
+        self._ten_n = 10.0 * self.scenario.path_loss_exponent
+        self._fixed_loss_db = (
+            FREE_SPACE_REFERENCE_LOSS_DB + self.scenario.wall_loss_db
+        )
+        self._shadow_sigma = (
+            self.scenario.shadowing_sigma_db if self.shadowing else 0.0
+        )
+
+    # -- setup --------------------------------------------------------------
+
+    def calibration_config(self, max_interferers=0):
+        """The table config this model needs (noise decides the columns)."""
+        overrides = dict(self.calibration_overrides)
+        overrides["fec_schemes"] = (self.fec,)
+        overrides["data_bits"] = self.data_bits
+        overrides["max_interferers"] = max(
+            int(max_interferers), int(overrides.get("max_interferers", 0))
+        )
+        return CalibrationConfig(**overrides)
+
+    def bind(
+        self,
+        topology,
+        mobility,
+        noise,
+        scheduler,
+        fidelity="packet",
+        table=None,
+        cache_dir=None,
+        jobs=None,
+    ):
+        """Attach to a run; in packet fidelity, obtain the delivery table.
+
+        ``table`` injects a prebuilt :class:`DeliveryTable` (tests use
+        synthetic ones to skip calibration); otherwise the disk cache is
+        consulted and a calibration Monte-Carlo runs on a miss.
+        """
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; valid: "
+                f"{', '.join(FIDELITIES)}"
+            )
+        self._topology = topology
+        self._mobility = mobility
+        self._noise = noise
+        self._scheduler = scheduler
+        self.fidelity = fidelity
+        self._cal_config = (
+            table.config
+            if table is not None
+            else self.calibration_config(noise.max_interferers)
+        )
+        from repro.dsp.signal_ops import watts_to_dbm
+        from repro.wifi.front_end import WifiFrontEnd
+
+        front = WifiFrontEnd(channel=self._cal_config.wifi_channel)
+        self.noise_floor_dbm = float(watts_to_dbm(front.noise_power_watts))
+        self.tx_power_dbm = (
+            self.noise_floor_dbm
+            + FREE_SPACE_REFERENCE_LOSS_DB
+            + self.snr_margin_db
+        )
+        if fidelity == "packet":
+            self.table = (
+                table
+                if table is not None
+                else DeliveryTable.load_or_calibrate(
+                    self._cal_config, cache_dir=cache_dir, jobs=jobs
+                )
+            )
+        else:
+            self.table = table
+
+    # -- link budget --------------------------------------------------------
+
+    def link_snr(self, node_id, time_s):
+        """(snr_db, interferers) for a transmission starting now."""
+        position = self._mobility.position(node_id, time_s)
+        distance = self._topology.distance_to_gateway(node_id, position)
+        loss_db = self._fixed_loss_db + self._ten_n * math.log10(distance)
+        state = self._noise.state(node_id, time_s)
+        snr_db = (
+            self.tx_power_dbm
+            - loss_db
+            - state.extra_loss_db
+            - self.noise_floor_dbm
+        )
+        if self._shadow_sigma:
+            snr_db -= self._shadow_sigma * float(
+                self._scheduler.rng("shadow", node_id).standard_normal()
+            )
+        return snr_db, state.interferers
+
+    # -- delivery -----------------------------------------------------------
+
+    def deliver(self, node_id, sequence, attempt, time_s):
+        """Decide one frame attempt's fate at the bound fidelity."""
+        snr_db, interferers = self.link_snr(node_id, time_s)
+        if self.fidelity == "packet":
+            p = self.table.probability(snr_db, interferers, self.fec)
+            delivered = (
+                float(self._scheduler.rng("deliver", node_id).random()) < p
+            )
+            return DeliveryOutcome(delivered, snr_db, interferers, p)
+        rng = np.random.default_rng(
+            self._scheduler.seed_for("frame", node_id, sequence, attempt)
+        )
+        link = make_calibration_link(snr_db, interferers, self._cal_config)
+        delivered = _one_frame(
+            link, self.fec, self.data_bits, sequence, rng
+        )
+        return DeliveryOutcome(delivered, snr_db, interferers)
+
+    # -- timing -------------------------------------------------------------
+
+    def frame_airtime_s(self):
+        """On-air duration of one frame (same layout the convergecast
+        network uses: FEC-coded payload + frame overhead + MAC header,
+        through the ZigBee PPDU timing)."""
+        from repro.core.frame import frame_overhead_bits
+        from repro.network.simulator import MAC_OVERHEAD_BYTES
+        from repro.sim.fastpath import _fec_encode
+        from repro.zigbee.frame import ppdu_duration_seconds
+
+        coded_bits = len(_fec_encode([0] * self.data_bits, self.fec))
+        frame_bits = coded_bits + frame_overhead_bits()
+        payload_bytes = (frame_bits + 7) // 8
+        return ppdu_duration_seconds(payload_bytes + MAC_OVERHEAD_BYTES)
+
+
+def make_comm(spec):
+    """Build a communication model from manifest kwargs (or None)."""
+    if spec is None:
+        return CommunicationModel()
+    return CommunicationModel(**dict(spec))

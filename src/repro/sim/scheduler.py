@@ -1,0 +1,184 @@
+"""Deterministic discrete-event core for fleet-scale simulation.
+
+:class:`EventScheduler` is a hand-rolled simpy-idiom event loop (no
+dependency, like the rest of the repo): a time-ordered heap of callback
+events with **deterministic tie-breaking** — events at the same
+simulated time fire in scheduling order, so a run's event sequence is a
+pure function of the seed and the model, never of hash order or float
+rounding luck.
+
+Randomness follows the repo's runtime contract
+(:mod:`repro.runtime.seeding`): every entity gets its *own* seeded
+stream derived from the scheduler root by a stable key, so adding a node
+or reordering model construction cannot shift any other entity's draws.
+String key parts hash through SHA-256 (never ``hash()``, which is
+per-process salted) to stable 64-bit spawn-key integers.
+"""
+
+import hashlib
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.runtime import as_seed_sequence
+
+
+def stable_key_int(part):
+    """A stable nonnegative integer for one RNG-stream key part.
+
+    Integers pass through; strings map via SHA-256 so the value is
+    identical across processes, platforms and Python versions.
+    """
+    if isinstance(part, (int, np.integer)):
+        value = int(part)
+        if value < 0:
+            raise ValueError("key integers must be nonnegative")
+        return value
+    if isinstance(part, str):
+        digest = hashlib.sha256(part.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+    raise TypeError(f"RNG key parts must be int or str, got {type(part)!r}")
+
+
+class Event:
+    """One scheduled callback; orderable by (time, sequence)."""
+
+    __slots__ = ("time_s", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time_s, seq, fn, args):
+        self.time_s = time_s
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other):
+        if self.time_s != other.time_s:
+            return self.time_s < other.time_s
+        return self.seq < other.seq
+
+    def cancel(self):
+        """Mark the event dead; the loop skips it without firing."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Time-ordered event loop with per-entity seeded RNG streams.
+
+    Tie-breaking contract: events are ordered by ``(time_s, seq)`` where
+    ``seq`` is a monotone scheduling counter — two events at the same
+    instant fire in the order they were scheduled.  Because model code
+    only schedules from a deterministic position in the event sequence,
+    the whole execution is reproducible bit-for-bit from the seed.
+    """
+
+    def __init__(self, seed=0, start_s=0.0):
+        self.now = float(start_s)
+        self._heap = []
+        self._counter = itertools.count()
+        self._root = as_seed_sequence(seed)
+        self._streams = {}
+        #: Events fired so far (skipped cancellations excluded).
+        self.events_processed = 0
+
+    # -- randomness ---------------------------------------------------------
+
+    @property
+    def root_seed(self):
+        """The root ``SeedSequence`` every stream derives from."""
+        return self._root
+
+    def seed_for(self, *key):
+        """An order-independent ``SeedSequence`` for a one-shot draw.
+
+        Derived purely from the root entropy and the key, so the same
+        ``(node, sequence, attempt)`` identity yields the same stream no
+        matter when — or in which worker — it is consumed.  This is the
+        same convention :class:`repro.network.ConvergecastNetwork` uses
+        for PHY trial seeds.
+        """
+        spawn = tuple(stable_key_int(part) for part in key)
+        return np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=self._root.spawn_key + spawn,
+        )
+
+    def rng(self, *key):
+        """The persistent ``numpy`` generator for one entity stream.
+
+        Streams are cached: repeated calls with the same key return the
+        *same* generator, advancing as the entity consumes randomness.
+        Distinct keys give statistically independent streams.
+        """
+        spawn = tuple(stable_key_int(part) for part in key)
+        try:
+            return self._streams[spawn]
+        except KeyError:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self._root.entropy,
+                    spawn_key=self._root.spawn_key + spawn,
+                )
+            )
+            self._streams[spawn] = rng
+            return rng
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, time_s, fn, *args):
+        """Schedule ``fn(*args)`` at absolute simulated ``time_s``."""
+        time_s = float(time_s)
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_s} before now={self.now}"
+            )
+        event = Event(time_s, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay_s, fn, *args):
+        """Schedule ``fn(*args)`` ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ValueError("delay must be nonnegative")
+        return self.at(self.now + float(delay_s), fn, *args)
+
+    def peek_time(self):
+        """Time of the next live event, or ``None`` when drained."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time_s if heap else None
+
+    def __len__(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until=None, max_events=None):
+        """Fire events in order; returns the number fired.
+
+        ``until`` stops the clock *exclusive*: an event at exactly
+        ``until`` does not fire (arrivals at the horizon belong to the
+        next epoch, matching the arrival-generation convention of the
+        network layer).  ``max_events`` bounds runaway models.
+        """
+        fired = 0
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time_s >= until:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            heapq.heappop(heap)
+            self.now = event.time_s
+            event.fn(*event.args)
+            fired += 1
+            self.events_processed += 1
+        if until is not None and self.now < until:
+            self.now = float(until)
+        return fired

@@ -164,6 +164,27 @@ class TestStreamTraffic:
         b, _ = self._traffic().schedule(np.random.default_rng(3))
         assert a == b
 
+    def test_capture_immune_to_global_numpy_seed(self):
+        """The seeded-RNG contract: only the passed generator matters.
+
+        Re-seeding the *global* numpy state differently between two
+        identically seeded captures must not change a single sample —
+        any global draw sneaking into scheduling, fading or front-end
+        noise would break this.
+        """
+        import numpy as np
+
+        np.random.seed(1111)
+        samples_a, truth_a = self._traffic().capture(
+            np.random.default_rng(3)
+        )
+        np.random.seed(2222)
+        samples_b, truth_b = self._traffic().capture(
+            np.random.default_rng(3)
+        )
+        assert truth_a == truth_b
+        assert np.array_equal(samples_a, samples_b)
+
     def test_same_channel_transmissions_never_overlap(self):
         import numpy as np
 
