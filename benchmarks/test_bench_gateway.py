@@ -1,0 +1,224 @@
+"""Perf acceptance benchmark for the multi-tenant gateway (PR 9).
+
+Drives the deterministic :mod:`repro.gateway.loadgen` fleet — N tenants,
+each a seeded 2-sender :class:`StreamTraffic` capture — through
+:class:`repro.gateway.core.GatewayCore` end to end (admission → bounded
+ring → per-tenant engine+reassembler → delivered transport messages)
+and writes ``BENCH_GATEWAY.json`` at the repo root.
+
+Headline number: **tenants-per-core at realtime** — how many concurrent
+realtime tenant streams one core sustains through the full gateway path,
+i.e. aggregate stream-seconds decoded per wall-second, divided by the
+cores the backend used.  The serial row must clear >= 1.0 on any
+machine (the per-tenant engine is the single-channel decimated fast
+path, ~1.5x realtime per stream); the pooled row is recorded, and its
+speedup gated, only where the cores exist (cpu-count-conditional, like
+BENCH_PR6).
+
+Correctness is asserted harder than speed: the serial and pooled drives
+must deliver **byte-identical** per-tenant message sets (payload bytes,
+msg ids, channels, fragment counts — everything except wall-clock
+latency), and both must match the workloads' ground truth exactly.
+"""
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.gateway.core import GatewayCore
+from repro.gateway.loadgen import build_workloads, drive_core, verify
+
+TENANTS = 4
+SENDERS = 2
+SEED = 20260809
+DURATION_S = 0.03
+BLOCK_SIZE = 16384
+
+#: Floor for the headline serial number, asserted unconditionally.
+TARGET_TENANTS_PER_CORE = 1.0
+
+#: Per-tenant engine: single decimated channel, fast kernels — the
+#: multi-tenant serving configuration (a wideband engine cannot
+#: decimate and would not clear realtime for even one tenant).
+ENGINE_KWARGS = {
+    "demux": True,
+    "zigbee_channels": [13],
+    "decimation": 4,
+    "mode": "fast",
+    "working_dtype": "complex64",
+}
+
+
+def _fresh(workloads):
+    """Same samples and ground truth, empty delivery ledgers."""
+    for workload in workloads:
+        workload.delivered = []
+        workload.shed_blocks = 0
+    return workloads
+
+
+def _drive(workloads, jobs):
+    with GatewayCore(
+        engine=ENGINE_KWARGS, max_tenants=TENANTS, jobs=jobs
+    ) as core:
+        return drive_core(core, _fresh(workloads), block_size=BLOCK_SIZE)
+
+
+def _best_timed(workloads, jobs, repeats):
+    """Best wall seconds over ``repeats`` drives, GC paused; keeps the
+    delivery ledger of the *last* drive (they are all byte-identical —
+    asserted below)."""
+    _drive(workloads, jobs)  # warm-up: waveform caches, worker spawn
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            best = min(best, _drive(workloads, jobs))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def _delivery_identity(workloads):
+    """Per-tenant delivered messages minus wall-clock fields."""
+    return {
+        w.tenant_id: sorted(
+            (
+                m["zigbee_channel"],
+                m["msg_id"],
+                m["frag_count"],
+                m["duplicates"],
+                m["data"],
+            )
+            for m in w.delivered
+        )
+        for w in workloads
+    }
+
+
+def _row(elapsed, workloads, cores_used, **extra):
+    total_samples = sum(w.samples.size for w in workloads)
+    stream_seconds = sum(w.stream_seconds for w in workloads)
+    x_realtime = stream_seconds / elapsed
+    return {
+        "tenants": len(workloads),
+        "elapsed_seconds": round(elapsed, 4),
+        "effective_msps": round(total_samples / elapsed / 1e6, 3),
+        "x_realtime": round(x_realtime, 4),
+        "cores_used": cores_used,
+        "tenants_per_core_at_realtime": round(x_realtime / cores_used, 4),
+        "messages_delivered": sum(len(w.delivered) for w in workloads),
+        "block_size": BLOCK_SIZE,
+        **extra,
+    }
+
+
+def test_bench_gateway():
+    root = Path(__file__).resolve().parent.parent
+    cpu_count = os.cpu_count() or 1
+    workloads = build_workloads(
+        TENANTS,
+        SENDERS,
+        SEED,
+        duration_s=DURATION_S,
+        engine=ENGINE_KWARGS,
+        dtype="complex64",
+    )
+    assert all(w.expected for w in workloads), "seed must air full messages"
+
+    serial_s = _best_timed(workloads, jobs=1, repeats=3)
+    serial_rows, serial_exact = verify(workloads)
+    serial_identity = _delivery_identity(workloads)
+    assert serial_exact, serial_rows
+    assert any(serial_identity.values())
+
+    pooled_jobs = min(2, cpu_count) if cpu_count >= 2 else 2
+    pooled_s = _best_timed(workloads, jobs=pooled_jobs, repeats=2)
+    pooled_rows, pooled_exact = verify(workloads)
+    pooled_identity = _delivery_identity(workloads)
+    assert pooled_exact, pooled_rows
+
+    # The acceptance contract: the gateway path is deterministic across
+    # backends — pooled delivery is byte-identical to serial, per tenant.
+    assert pooled_identity == serial_identity
+
+    serial_row = _row(serial_s, workloads, cores_used=1)
+    pooled_row = _row(
+        pooled_s,
+        workloads,
+        cores_used=pooled_jobs,
+        jobs=pooled_jobs,
+        speedup_vs_serial=round(serial_s / pooled_s, 2),
+    )
+    gate_pooled = cpu_count >= 2
+
+    report = {
+        "pr": 9,
+        "workload": {
+            "tenants": TENANTS,
+            "senders_per_tenant": SENDERS,
+            "duration_s": DURATION_S,
+            "seed": SEED,
+            "samples_per_tenant": int(workloads[0].samples.size),
+            "expected_messages": sum(len(w.expected) for w in workloads),
+            "engine": {
+                k: str(v) if not isinstance(v, (int, bool)) else v
+                for k, v in ENGINE_KWARGS.items()
+            },
+        },
+        "protocol": (
+            "best-of-N wall time over full gateway drives (admit -> ring "
+            "-> decode -> reassemble -> finish), gc disabled, after one "
+            "warm-up drive; serial and pooled delivery ledgers asserted "
+            "byte-identical; the pooled speed gate is cpu-count-"
+            "conditional, the serial tenants-per-core floor is not"
+        ),
+        "cpu_count": cpu_count,
+        "serial": serial_row,
+        "pooled": pooled_row,
+        "delivery": serial_rows,
+        "gates": {
+            "target_tenants_per_core": TARGET_TENANTS_PER_CORE,
+            "serial_gate_applied": True,
+            "pooled_gate_applied": gate_pooled,
+            "byte_identity": "asserted (serial == pooled, per tenant)",
+        },
+    }
+    (root / "BENCH_GATEWAY.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    print()
+    for name in ("serial", "pooled"):
+        row = report[name]
+        print(
+            f"{name:7s} {row['elapsed_seconds']:7.4f} s  "
+            f"{row['effective_msps']:6.2f} Msps  "
+            f"{row['x_realtime']:5.2f}x realtime  "
+            f"{row['tenants_per_core_at_realtime']:5.2f} tenants/core  "
+            f"{row['messages_delivered']} msgs"
+        )
+    print(
+        f"cpus={cpu_count}  pooled jobs={pooled_jobs} "
+        f"speedup {pooled_row['speedup_vs_serial']:.2f}x "
+        f"(gate {'on' if gate_pooled else 'off'})"
+    )
+
+    # The headline gate: one core must carry at least one realtime
+    # tenant through the whole gateway path.
+    assert (
+        serial_row["tenants_per_core_at_realtime"]
+        >= TARGET_TENANTS_PER_CORE
+    ), serial_row
+    if gate_pooled:
+        # On real cores the pooled backend must at least hold serial's
+        # aggregate rate to within IPC noise (the per-block decode here
+        # is light, so fan-out wins are modest; the identity assert is
+        # the hard contract).
+        assert pooled_row["x_realtime"] >= serial_row["x_realtime"] * 0.5, (
+            pooled_row
+        )

@@ -16,6 +16,7 @@ failing experiment and exits non-zero with a pass/fail summary.
 """
 
 import argparse
+import signal
 import sys
 import time
 import traceback
@@ -395,6 +396,30 @@ def _cmd_listen(args):
         return 2
     ring = RingBufferSource(capacity_blocks=args.ring_capacity)
 
+    # Graceful shutdown: SIGINT/SIGTERM stop the *feed*, not the
+    # process — the engine then drains the ring, flushes channelizer
+    # state, joins the worker pool (unlinking its shared-memory
+    # segments) and finalizes the live collector exactly as it would at
+    # end-of-capture.  A second signal falls back to the default
+    # handler (hard kill).
+    stop = {"signal": None}
+
+    def _request_stop(signum, _frame):
+        stop["signal"] = signal.Signals(signum).name
+        signal.signal(signum, previous[signum])
+        print(
+            f"{stop['signal']} received: draining stream...",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # non-main thread / platform quirks
+            pass
+
     def ring_feed():
         # Lock-step producer/consumer: every block passes through the
         # ring on its way to the engine so overrun accounting stays
@@ -402,6 +427,8 @@ def _cmd_listen(args):
         # the pool publishes each block while workers chew on earlier
         # ones, instead of materializing the capture first.
         for block in traffic.blocks(samples, args.block_size):
+            if stop["signal"] is not None:
+                break
             ring.push(block)
             popped = ring.pop()
             if popped is not None:
@@ -423,7 +450,14 @@ def _cmd_listen(args):
         return decoded
 
     t0 = time.perf_counter()
-    frames = _profiled(decode) if args.profile else decode()
+    try:
+        frames = _profiled(decode) if args.profile else decode()
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
     elapsed = time.perf_counter() - t0
 
     if collector is not None:
@@ -525,6 +559,15 @@ def _cmd_listen(args):
             )
             print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
 
+    if stop["signal"] is not None:
+        # A requested shutdown that drained cleanly is a success even
+        # though the truncated feed delivered fewer frames than planned.
+        print(
+            f"shut down cleanly on {stop['signal']} "
+            f"({delivered}/{len(truth)} scheduled frames before the cut)",
+            file=sys.stderr,
+        )
+        return 0
     return 0 if delivered == len(truth) else 1
 
 
@@ -715,6 +758,12 @@ def _cmd_simulate(args):
         ("skipped (node down)", str(summary["skipped_down"])),
         ("channel utilization", f"{summary['utilization']:.4f}"),
         (
+            "interferer duty",
+            f"{summary['interference']['duty']:.3f} x "
+            f"{summary['interference']['n_interferers']} "
+            f"({summary['interference']['mean_active']:.3f} mean active)",
+        ),
+        (
             "latency",
             f"{latency['mean_ms']:.2f} ms mean, "
             f"{latency['p50_ms']:.2f}/{latency['p95_ms']:.2f} p50/p95",
@@ -761,6 +810,184 @@ def _cmd_simulate(args):
             )
             print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
 
+    return 0
+
+
+def _gateway_engine_kwargs(args):
+    """Per-tenant StreamEngine kwargs shared by serve and loadgen."""
+    engine = {
+        "wifi_channel": args.wifi_channel,
+        "demux": args.demux,
+        "mode": args.kernel_mode,
+    }
+    if args.decimation != 1:
+        engine["decimation"] = args.decimation
+    if args.float32:
+        engine["working_dtype"] = "complex64"
+    return engine
+
+
+def _cmd_serve(args):
+    import asyncio
+
+    from repro import obs
+    from repro.gateway.core import GatewayCore
+    from repro.gateway.server import GatewayServer
+
+    # The /metrics endpoint serves the process registry, so serving
+    # implies metering.
+    obs.REGISTRY.reset()
+    obs.enable()
+    collector = None
+    sinks = []
+    if args.metrics_stream or args.prom_out:
+        if args.metrics_stream:
+            sinks.append(obs.JsonlSink(args.metrics_stream))
+        if args.prom_out:
+            sinks.append(obs.PrometheusFileSink(args.prom_out))
+        collector = obs.LiveCollector(
+            interval_s=args.live_interval, sinks=sinks
+        )
+    try:
+        core = GatewayCore(
+            engine=_gateway_engine_kwargs(args),
+            max_tenants=args.max_tenants,
+            ring_capacity=args.ring_capacity,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = GatewayServer(
+        core,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        collector=collector,
+    )
+
+    def announce(started):
+        # The readiness line CI and scripts wait for.
+        message = f"gateway listening on {started.host}:{started.port}"
+        if started.metrics_port is not None:
+            message += (
+                f" (metrics http://{started.host}"
+                f":{started.metrics_port}/metrics)"
+            )
+        print(message, file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(server.run(on_started=announce))
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; a very early ^C lands here
+    finally:
+        for sink in sinks:
+            sink.close()
+        obs.disable()
+    print("gateway shut down cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args):
+    from repro.experiments.common import print_table
+    from repro.gateway.loadgen import run_loadgen
+
+    overrides = {}
+    if args.config:
+        import json
+
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                overrides = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(overrides, dict):
+            print(
+                f"error: {args.config} must hold a JSON object",
+                file=sys.stderr,
+            )
+            return 2
+
+    def setting(name, flag_value, default):
+        # Priority: explicit CLI flag > config file > default.
+        if flag_value is not None:
+            return flag_value
+        return overrides.get(name, default)
+
+    engine = overrides.get("engine")
+    if engine is None and (
+        args.demux or args.decimation != 1 or args.float32
+        or args.kernel_mode != "exact" or args.wifi_channel != 1
+    ):
+        engine = _gateway_engine_kwargs(args)
+
+    client = None
+    port = setting("port", args.port, None)
+    if port is not None:
+        from repro.gateway.protocol import GatewayClient
+
+        try:
+            client = GatewayClient(
+                setting("host", args.host, "127.0.0.1"),
+                port,
+                connect_wait_s=args.connect_wait,
+            )
+        except OSError as exc:
+            print(f"error: cannot connect to gateway: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = run_loadgen(
+            tenants=setting("tenants", args.tenants, 2),
+            senders=setting("senders", args.senders, 2),
+            seed=setting("seed", args.seed, 7),
+            duration_s=setting("duration_s", args.duration, 0.03),
+            block_size=setting("block_size", args.block_size, 16384),
+            message_bytes=setting("message_bytes", args.message_bytes, 5),
+            scheme=setting("scheme", args.scheme, "hamming"),
+            channels=tuple(overrides.get("channels", (13,))),
+            engine=engine,
+            jobs=setting("jobs", args.jobs, 1),
+            client=client,
+        )
+    finally:
+        if client is not None:
+            try:
+                client.bye()
+            except Exception:
+                pass
+            client.close()
+
+    print_table(
+        (
+            "tenant", "expected", "delivered", "matched",
+            "shed blocks", "byte exact",
+        ),
+        [
+            (
+                row["tenant"],
+                str(row["expected"]),
+                str(row["delivered"]),
+                str(row["matched"]),
+                str(row["shed_blocks"]),
+                "yes" if row["byte_exact"] else "NO",
+            )
+            for row in report["tenants"]
+        ],
+        title=(
+            "gateway load "
+            f"({'wire' if client is not None else 'in-process'})"
+        ),
+    )
+    print(
+        f"offered {report['total_samples']} samples "
+        f"({report['stream_seconds'] * 1000:.1f} ms of stream) in "
+        f"{report['elapsed_s']:.3f} s — "
+        f"{report['aggregate_x_realtime']:.2f}x realtime aggregate"
+    )
+    if not report["ok"]:
+        print("error: delivery was not byte-exact", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -834,7 +1061,8 @@ def _cmd_info(_args):
     print(f"speedup vs C-Morse:    {speedup_versus(215.0):.1f}x")
     print(
         "metric namespaces:     "
-        "link.* decoder.* preamble.* network.* stream.* transport.* sim.*"
+        "link.* decoder.* preamble.* network.* stream.* transport.* "
+        "sim.* gateway.*"
     )
     return 0
 
@@ -984,6 +1212,144 @@ def build_parser():
              "collector tick",
     )
     listen.set_defaults(func=_cmd_listen)
+
+    def add_engine_flags(command, default_kernel_mode="exact"):
+        # Per-tenant engine shape shared by serve and loadgen.  The
+        # gateway default is one wideband session per tenant; --demux
+        # gives each tenant the multi-channel channelizer path.
+        command.add_argument(
+            "--demux", action="store_true",
+            help="per-channel demux engine per tenant (default: one "
+                 "wideband session per tenant)",
+        )
+        command.add_argument(
+            "--wifi-channel", type=int, default=1,
+            help="WiFi receive channel (default 1)",
+        )
+        command.add_argument(
+            "--decimation", type=int, default=1, metavar="D",
+            help="channelizer decimation factor (demux only; default 1)",
+        )
+        command.add_argument(
+            "--kernel-mode", choices=("exact", "fast"),
+            default=default_kernel_mode,
+            help=f"DSP kernel mode (default {default_kernel_mode})",
+        )
+        command.add_argument(
+            "--float32", action="store_true",
+            help="complex64 working dtype (fast kernel mode only)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant stream-serving gateway (length-"
+             "prefixed tenant protocol + /metrics; SIGINT/SIGTERM "
+             "drains gracefully)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7713,
+        help="tenant protocol port; 0 picks a free port (default 7713)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) on PORT "
+             "(0 picks a free port; default: no metrics listener)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=8, metavar="N",
+        help="admission limit on concurrent tenant streams (default 8)",
+    )
+    serve.add_argument(
+        "--ring-capacity", type=int, default=64, metavar="BLOCKS",
+        help="per-tenant ring capacity in blocks; a full ring sheds "
+             "with an explicit overrun code (default 64)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="multiplex tenants across N pool workers (default 1, "
+             "inline decode)",
+    )
+    add_engine_flags(serve)
+    serve.add_argument(
+        "--metrics-stream", metavar="PATH", default=None,
+        help="append one live-sample JSON line per collector tick to "
+             "PATH (replay with 'obs tail PATH')",
+    )
+    serve.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="atomically rewrite a Prometheus exposition file per tick",
+    )
+    serve.add_argument(
+        "--live-interval", type=float, default=0.5, metavar="SECONDS",
+        help="live collector tick interval (default 0.5)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="deterministic gateway load harness: N tenants x M "
+             "scripted senders, byte-exact delivery verification",
+    )
+    loadgen.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="JSON config with loadgen settings (CLI flags override; "
+             "see examples/gateway_loadgen.json)",
+    )
+    loadgen.add_argument(
+        "--tenants", type=int, default=None,
+        help="concurrent tenant streams (default 2)",
+    )
+    loadgen.add_argument(
+        "--senders", type=int, default=None,
+        help="scripted SymBee senders per tenant (default 2)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=None,
+        help="workload RNG seed (default 7)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="per-tenant capture length (default 0.03)",
+    )
+    loadgen.add_argument(
+        "--block-size", type=int, default=None, metavar="SAMPLES",
+        help="submitted block size in samples (default 16384)",
+    )
+    loadgen.add_argument(
+        "--message-bytes", type=int, default=None, metavar="BYTES",
+        help="message size each sender fragments (default 5)",
+    )
+    loadgen.add_argument(
+        "--scheme", choices=("none", "hamming", "conv"), default=None,
+        help="transport FEC scheme for the scripted fragments "
+             "(default hamming)",
+    )
+    loadgen.add_argument(
+        "--host", default=None,
+        help="gateway host for wire mode (default 127.0.0.1)",
+    )
+    loadgen.add_argument(
+        "--port", type=int, default=None,
+        help="gateway port: set to drive a running 'serve' over the "
+             "wire (default: in-process gateway core)",
+    )
+    loadgen.add_argument(
+        "--connect-wait", type=float, default=10.0, metavar="SECONDS",
+        help="retry the first connection for up to this long — lets CI "
+             "start 'serve' in the background (default 10)",
+    )
+    loadgen.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="in-process mode: pool workers for the gateway core "
+             "(default 1)",
+    )
+    add_engine_flags(loadgen)
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     obs = sub.add_parser("obs", help="inspect recorded telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summary = obs_sub.add_parser(

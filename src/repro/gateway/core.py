@@ -1,0 +1,450 @@
+"""Multi-tenant gateway core: admission, backpressure, delivery.
+
+:class:`GatewayCore` is the transport-agnostic heart of ``repro
+serve``: the asyncio server (:mod:`repro.gateway.server`), the
+in-process load harness (:mod:`repro.gateway.loadgen`) and the tests
+all drive this one object, so admission control and delivery semantics
+are identical whichever way samples arrive.
+
+Tenancy model
+-------------
+Each admitted tenant owns a bounded
+:class:`repro.stream.ring.RingBufferSource` (its overrun accounting is
+the shed ledger), one :class:`repro.gateway.tenant.TenantConsumer`
+(private engine + reassembler — per-tenant session isolation), and a
+pending-delivery queue the client drains with :meth:`poll`.  Nothing in
+the gateway queues without bound: admission past ``max_tenants`` is
+refused (``tenant-limit``), a block offered to a full ring is *shed*
+and reported (``overrun``), and a draining gateway refuses new tenants
+(``shutting-down``).
+
+Scheduling
+----------
+With ``jobs=1`` tenants decode inline, round-robin one ring block per
+tenant per :meth:`pump` pass.  With ``jobs>1`` the core owns a
+``dynamic`` :class:`repro.runtime.workerpool.BlockWorkerPool`: admission
+opens the tenant's consumer on the least-loaded worker, :meth:`pump`
+forwards ring blocks with *targeted* publishes gated per-tenant by
+``can_accept(key)`` (a slow tenant backpressures its own ring, never
+the fleet's), and completed messages stream back mid-run on the pool's
+emissions queue.  Per-tenant block order is preserved on both paths, so
+decoded payloads are byte-identical serial vs pooled (benchmarked and
+asserted in ``benchmarks/test_bench_gateway.py``).
+
+Metrics (``gateway.*``): tenants admitted/rejected/active, blocks and
+samples admitted/shed, frames/fragments/messages counters from the
+consumers, a delivery-latency histogram, and
+``gateway.realtime_margin_min`` — the worst per-tenant ingest margin
+(stream-seconds admitted per wall-second since the tenant's first
+submit; < 1.0 means some tenant is falling behind realtime).
+"""
+
+import time
+
+import numpy as np
+
+from repro.constants import WIFI_SAMPLE_RATE_20MHZ
+from repro.gateway.errors import (
+    ERR_DUPLICATE_TENANT,
+    ERR_SHUTTING_DOWN,
+    ERR_STREAM_ENDED,
+    ERR_TENANT_LIMIT,
+    ERR_UNKNOWN_TENANT,
+    GatewayError,
+)
+from repro.gateway.tenant import tenant_consumer
+from repro.obs.metrics import REGISTRY
+from repro.runtime.workerpool import DEFAULT_QUEUE_BLOCKS, BlockWorkerPool
+from repro.stream.ring import RingBufferSource
+
+_ADMITTED = REGISTRY.counter("gateway.tenants_admitted")
+_REJECTED = REGISTRY.counter("gateway.tenants_rejected")
+_ACTIVE = REGISTRY.gauge("gateway.tenants_active")
+_BLOCKS_ADMITTED = REGISTRY.counter("gateway.blocks_admitted")
+_BLOCKS_SHED = REGISTRY.counter("gateway.blocks_shed")
+_SAMPLES_ADMITTED = REGISTRY.counter("gateway.samples_admitted")
+_SAMPLES_SHED = REGISTRY.counter("gateway.samples_shed")
+_MARGIN_MIN = REGISTRY.gauge("gateway.realtime_margin_min")
+
+#: Seconds finish_tenant waits for a pooled close result before giving up.
+_FINISH_TIMEOUT_S = 60.0
+
+
+class _TenantState:
+    """Parent-side bookkeeping for one tenant stream."""
+
+    __slots__ = (
+        "tenant_id",
+        "ring",
+        "consumer",
+        "pending",
+        "finished",
+        "result",
+        "blocks_in",
+        "samples_in",
+        "sample_rate",
+        "first_submit",
+        "delivered",
+    )
+
+    def __init__(self, tenant_id, ring, sample_rate):
+        self.tenant_id = tenant_id
+        self.ring = ring
+        self.consumer = None  # serial backend only
+        self.pending = []
+        self.finished = False
+        self.result = None
+        self.blocks_in = 0
+        self.samples_in = 0
+        self.sample_rate = float(sample_rate)
+        self.first_submit = None
+        self.delivered = 0
+
+    def margin(self, now):
+        """Stream-seconds admitted per wall-second since first submit."""
+        if self.first_submit is None or self.samples_in == 0:
+            return None
+        elapsed = now - self.first_submit
+        if elapsed <= 0:
+            return None
+        return (self.samples_in / self.sample_rate) / elapsed
+
+
+class GatewayCore:
+    """Admit tenants, schedule their blocks, deliver their messages.
+
+    ``engine`` holds default :class:`~repro.stream.engine.StreamEngine`
+    kwargs for every tenant; :meth:`admit` may override per tenant.
+    ``jobs=1`` decodes inline; ``jobs>1`` multiplexes tenants across a
+    shared dynamic worker pool.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        max_tenants=8,
+        ring_capacity=64,
+        jobs=1,
+        queue_blocks=DEFAULT_QUEUE_BLOCKS,
+        mp_context=None,
+        telemetry_blocks=None,
+    ):
+        self.engine_kwargs = dict(engine or {})
+        self.max_tenants = int(max_tenants)
+        if self.max_tenants <= 0:
+            raise ValueError("max_tenants must be positive")
+        self.ring_capacity = int(ring_capacity)
+        self.jobs = max(1, int(jobs))
+        self._tenants = {}
+        self._draining = False
+        self._closed = False
+        self._pool = (
+            BlockWorkerPool(
+                tenant_consumer,
+                {"engine": self.engine_kwargs},
+                [],
+                jobs=self.jobs,
+                queue_blocks=queue_blocks,
+                mp_context=mp_context,
+                telemetry_blocks=telemetry_blocks,
+                dynamic=True,
+            )
+            if self.jobs > 1
+            else None
+        )
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, tenant_id, engine=None):
+        """Register a tenant; refuses with an explicit code when full.
+
+        ``engine`` overrides the gateway's default engine kwargs for
+        this tenant only.  Returns an info dict (echoed to socket
+        clients as the ``welcome`` response).
+        """
+        self._ensure_open()
+        if self._draining:
+            raise GatewayError(ERR_SHUTTING_DOWN, "gateway is draining")
+        if tenant_id in self._tenants:
+            raise GatewayError(
+                ERR_DUPLICATE_TENANT, f"tenant {tenant_id!r} already admitted"
+            )
+        if self._active_count() >= self.max_tenants:
+            _REJECTED.inc()
+            raise GatewayError(
+                ERR_TENANT_LIMIT,
+                f"tenant limit {self.max_tenants} reached",
+            )
+        merged = dict(self.engine_kwargs)
+        merged.update(dict(engine or {}))
+        state = _TenantState(
+            tenant_id,
+            RingBufferSource(capacity_blocks=self.ring_capacity),
+            merged.get("sample_rate", WIFI_SAMPLE_RATE_20MHZ),
+        )
+        if self._pool is not None:
+            self._pool.open_key(
+                tenant_id, {"engine": merged} if engine else None
+            )
+        else:
+            state.consumer = tenant_consumer({"engine": merged}, tenant_id)
+        self._tenants[tenant_id] = state
+        _ADMITTED.inc()
+        _ACTIVE.set(self._active_count())
+        return {
+            "tenant": tenant_id,
+            "ring_capacity": self.ring_capacity,
+            "sample_rate": state.sample_rate,
+            "jobs": self.jobs,
+        }
+
+    # -- ingest --------------------------------------------------------------
+
+    def submit(self, tenant_id, block):
+        """Offer one sample block; ``False`` means shed (ring overrun).
+
+        Shedding is the designed overload behaviour — the ring bounds
+        memory and the loss is accounted (``gateway.blocks_shed``, the
+        tenant's ring stats) instead of queueing without limit.
+        """
+        state = self._require(tenant_id)
+        if state.finished:
+            raise GatewayError(
+                ERR_STREAM_ENDED, f"tenant {tenant_id!r} already finished"
+            )
+        block = np.asarray(block)
+        if state.first_submit is None:
+            state.first_submit = time.monotonic()
+        accepted = state.ring.push(block)
+        if accepted:
+            state.blocks_in += 1
+            state.samples_in += int(block.size)
+            _BLOCKS_ADMITTED.inc()
+            _SAMPLES_ADMITTED.inc(int(block.size))
+        else:
+            _BLOCKS_SHED.inc()
+            _SAMPLES_SHED.inc(int(block.size))
+        self.pump()
+        return accepted
+
+    # -- scheduling ----------------------------------------------------------
+
+    def pump(self):
+        """Move ring blocks into decode; never blocks on a full worker.
+
+        Round-robin, one block per tenant per pass, so a deep ring
+        cannot starve its neighbours.  On the pooled backend a tenant's
+        block only moves when *its* worker queue has room.
+        """
+        self._ensure_open()
+        if self._pool is None:
+            progressed = True
+            while progressed:
+                progressed = False
+                for state in self._tenants.values():
+                    if state.finished:
+                        continue
+                    block = state.ring.pop()
+                    if block is None:
+                        continue
+                    messages = state.consumer.process(block)
+                    if messages:
+                        state.pending.extend(messages)
+                    progressed = True
+        else:
+            progressed = True
+            while progressed:
+                progressed = False
+                for state in self._tenants.values():
+                    if state.finished or not len(state.ring):
+                        continue
+                    if not self._pool.can_accept(state.tenant_id):
+                        continue
+                    self._pool.publish(state.ring.pop(), key=state.tenant_id)
+                    progressed = True
+            self._drain_pool()
+        self._update_margin()
+
+    # -- delivery ------------------------------------------------------------
+
+    def poll(self, tenant_id):
+        """Drain the tenant's completed messages accumulated so far."""
+        state = self._require(tenant_id)
+        self.pump()
+        messages, state.pending = state.pending, []
+        state.delivered += len(messages)
+        return messages
+
+    def finish_tenant(self, tenant_id, timeout_s=_FINISH_TIMEOUT_S):
+        """End a tenant's stream: flush its ring, engine and reassembler.
+
+        Returns ``{"messages": [...], "stats": {...}}`` with every
+        not-yet-polled message (including trailing ones the engine only
+        emits at flush).  The tenant id stays registered — a finished
+        stream cannot be re-opened under the same id within a gateway's
+        lifetime.
+        """
+        state = self._require(tenant_id)
+        if state.finished:
+            raise GatewayError(
+                ERR_STREAM_ENDED, f"tenant {tenant_id!r} already finished"
+            )
+        state.ring.close()
+        if self._pool is None:
+            for block in state.ring:
+                messages = state.consumer.process(block)
+                if messages:
+                    state.pending.extend(messages)
+            self._finalize(state, state.consumer.finish())
+        else:
+            for block in state.ring:
+                # Blocking publish: the ring is bounded, so this drains
+                # a bounded backlog through bounded worker queues.
+                self._pool.publish(block, key=tenant_id)
+            self._pool.close_key(tenant_id)
+            deadline = time.monotonic() + float(timeout_s)
+            while not state.finished:
+                self._drain_pool()
+                if state.finished:
+                    break
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for tenant {tenant_id!r} close"
+                    )
+                time.sleep(0.001)
+        _ACTIVE.set(self._active_count())
+        self._update_margin()
+        messages, state.pending = state.pending, []
+        state.delivered += len(messages)
+        return {"messages": messages, "stats": self.tenant_stats(tenant_id)}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self):
+        """Graceful shutdown: finish every active tenant, close the pool.
+
+        Returns ``{tenant_id: finish_tenant result}`` for tenants that
+        were still active — their undelivered messages, so a shutdown
+        never silently discards completed work.
+        """
+        self._draining = True
+        results = {}
+        for tenant_id in list(self._tenants):
+            if not self._tenants[tenant_id].finished:
+                results[tenant_id] = self.finish_tenant(tenant_id)
+        self.close()
+        return results
+
+    def close(self):
+        """Tear down the pool (joining it cleanly if possible); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is None:
+            return
+        try:
+            late = self._pool.join()
+            for kind, key, value in self._pool.drain_emitted():
+                state = self._tenants.get(key)
+                if state is None:
+                    continue
+                if kind == "emit":
+                    state.pending.extend(value)
+                else:
+                    self._finalize(state, value)
+            for key, result in late.items():
+                state = self._tenants.get(key)
+                if state is not None and not state.finished:
+                    self._finalize(state, result)
+        finally:
+            self._pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def draining(self):
+        return self._draining
+
+    def tenant_ids(self):
+        return list(self._tenants)
+
+    def tenant_stats(self, tenant_id):
+        state = self._require(tenant_id)
+        now = time.monotonic()
+        return {
+            "tenant": tenant_id,
+            "finished": state.finished,
+            "blocks_in": state.blocks_in,
+            "samples_in": state.samples_in,
+            "ring": state.ring.stats(),
+            "pending_messages": len(state.pending),
+            "delivered_messages": state.delivered,
+            "realtime_margin": state.margin(now),
+            "engine": state.result["engine"] if state.result else None,
+            "reassembly": state.result["reassembly"] if state.result else None,
+        }
+
+    def stats(self):
+        return {
+            "max_tenants": self.max_tenants,
+            "ring_capacity": self.ring_capacity,
+            "jobs": self.jobs,
+            "active_tenants": self._active_count(),
+            "draining": self._draining,
+            "tenants": {tid: self.tenant_stats(tid) for tid in self._tenants},
+            "pool": self._pool.stats() if self._pool is not None else None,
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._closed:
+            raise ValueError("gateway core is closed")
+
+    def _require(self, tenant_id):
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            raise GatewayError(
+                ERR_UNKNOWN_TENANT, f"unknown tenant {tenant_id!r}"
+            )
+        return state
+
+    def _active_count(self):
+        return sum(1 for s in self._tenants.values() if not s.finished)
+
+    def _drain_pool(self):
+        for kind, key, value in self._pool.drain_emitted():
+            state = self._tenants.get(key)
+            if state is None:
+                continue
+            if kind == "emit":
+                state.pending.extend(value)
+            else:
+                self._finalize(state, value)
+
+    def _finalize(self, state, result):
+        state.pending.extend(result.get("messages") or [])
+        state.result = result
+        state.finished = True
+
+    def _update_margin(self):
+        now = time.monotonic()
+        margins = [
+            margin
+            for state in self._tenants.values()
+            if not state.finished
+            for margin in [state.margin(now)]
+            if margin is not None
+        ]
+        if margins:
+            _MARGIN_MIN.set(min(margins))
+
+
+__all__ = ["GatewayCore"]

@@ -49,6 +49,33 @@ Consumers must not retain references to the block view after
 block is acked.  A retained view keeps the *mapping* alive (the worker's
 ``shm.close`` is deferred, never crashed) but is a leak, not a
 correctness guarantee.
+
+Multi-tenant serving (PR 9) adds three orthogonal capabilities, all off
+by default so the demux fan-out contract above is untouched:
+
+* **dynamic keys** (``dynamic=True``): the pool may start with zero
+  keys; :meth:`BlockWorkerPool.open_key` builds a consumer on the
+  least-loaded worker (ties break to the lowest worker index, so
+  placement is deterministic given the open/close sequence) and
+  :meth:`BlockWorkerPool.close_key` finishes it mid-stream, shipping its
+  result back on the emissions queue.  :meth:`join` then returns a
+  ``{key: result}`` dict for whichever keys are still open;
+* **targeted publish** (``publish(block, key=...)``): the segment is
+  shipped only to the worker owning ``key`` (refcount 1) and consumed
+  only by that key's consumer — per-tenant streams stay isolated while
+  sharing the pool.  ``can_accept(key=...)`` checks just that worker's
+  queue, so one slow tenant backpressures itself, not the fleet;
+* **emissions** (``emissions=True``): a ``process`` return value that is
+  not ``None`` is shipped to the parent on an unbounded side queue and
+  drained with :meth:`BlockWorkerPool.drain_emitted` — incremental
+  results (e.g. reassembled transport messages) flow out mid-run instead
+  of waiting for :meth:`join`.  Existing consumers return ``None`` and
+  ship nothing.
+
+Fair scheduling across tenants falls out of the structure: static keys
+are partitioned round-robin, dynamic keys go to the least-loaded worker,
+every worker queue is bounded, and a keyed producer (the gateway pumps
+tenant rings round-robin) interleaves one block per tenant per pass.
 """
 
 import queue as queue_mod
@@ -136,6 +163,7 @@ def _worker_main(
     metrics_enabled,
     telemetry_blocks=None,
     telemetry_queue=None,
+    emit_queue=None,
 ):
     """Worker loop: build consumers once, then map/consume/ack per block.
 
@@ -144,9 +172,22 @@ def _worker_main(
     any failure ships ``("error", worker_index, traceback_text)`` instead
     so the parent can re-raise with the worker's stack.
 
+    In-queue messages (all parent-originated):
+
+    * ``None`` — end of stream; finish remaining consumers and report.
+    * ``("open", key, config_or_None)`` — build a consumer mid-stream
+      (``None`` config falls back to the pool config).
+    * ``("close", key)`` — finish one consumer now; its result ships on
+      the emissions queue as ``("closed", worker_index, key, result)``.
+    * ``("block", seq, name, count, dtype_str, target)`` — one published
+      block; ``target=None`` fans it to every consumer (demux), a key
+      routes it to that consumer alone (tenant stream).
+
     With ``telemetry_blocks`` set, every N-th processed block also ships
     a registry delta (vs the last shipped snapshot) on the side queue —
-    a live preview that never alters the final ``done`` shard.
+    a live preview that never alters the final ``done`` shard.  With an
+    ``emit_queue``, any non-``None`` return from ``consumer.process``
+    ships as ``("emit", worker_index, key, value)``.
     """
     try:
         if metrics_enabled:
@@ -155,7 +196,7 @@ def _worker_main(
             # the shard holds exactly this worker's increments.
             REGISTRY.enable()
             REGISTRY.reset()
-        consumers = [(key, factory(config, key)) for key in keys]
+        consumers = {key: factory(config, key) for key in keys}
         blocks_done = 0
         last_shipped = {"counters": {}, "gauges": {}, "histograms": {}}
 
@@ -170,29 +211,54 @@ def _worker_main(
             if not snapshot_is_empty(delta):
                 telemetry_queue.put((worker_index, delta))
 
+        def consume(view, target):
+            if target is None:
+                items = list(consumers.items())
+            else:
+                consumer = consumers.get(target)
+                # A block racing a close is dropped, never crashed —
+                # the parent stops routing to a key before closing it,
+                # so this only fires on a parent-side protocol bug.
+                items = [(target, consumer)] if consumer is not None else []
+            for key, consumer in items:
+                emitted = consumer.process(view)
+                if emit_queue is not None and emitted is not None:
+                    emit_queue.put(("emit", worker_index, key, emitted))
+
         while True:
-            descriptor = in_queue.get()
-            if descriptor is None:
+            message = in_queue.get()
+            if message is None:
                 break
-            seq, name, count, dtype_str = descriptor
+            kind = message[0]
+            if kind == "open":
+                _kind, key, open_config = message
+                consumers[key] = factory(
+                    config if open_config is None else open_config, key
+                )
+                continue
+            if kind == "close":
+                _kind, key = message
+                result = consumers.pop(key).finish()
+                if emit_queue is not None:
+                    emit_queue.put(("closed", worker_index, key, result))
+                continue
+            _kind, seq, name, count, dtype_str, target = message
             if name is None:
                 block = np.empty(0, dtype=np.dtype(dtype_str))
                 block.flags.writeable = False  # same contract as shm views
-                for _key, consumer in consumers:
-                    consumer.process(block)
+                consume(block, target)
                 ack_queue.put(seq)
                 maybe_ship_delta()
                 continue
             shm, view = _attach_readonly(name, count, np.dtype(dtype_str))
             try:
-                for _key, consumer in consumers:
-                    consumer.process(view)
+                consume(view, target)
             finally:
                 del view
                 _close_quietly(shm)
                 ack_queue.put(seq)
             maybe_ship_delta()
-        results = [(key, consumer.finish()) for key, consumer in consumers]
+        results = [(key, consumer.finish()) for key, consumer in consumers.items()]
         shard = REGISTRY.snapshot() if metrics_enabled else None
         out_queue.put(("done", worker_index, results, shard))
     except BaseException:
@@ -207,6 +273,14 @@ class BlockWorkerPool:
     per published block, with a read-only view) and ``finish()`` (called
     once at :meth:`join`, returns that key's result).  Keys are
     partitioned round-robin across ``min(jobs, len(keys))`` workers.
+
+    ``dynamic=True`` relaxes the static-key contract for serving: the
+    pool may start empty, sizes itself to ``jobs`` workers, admits keys
+    via :meth:`open_key` / retires them via :meth:`close_key`, and
+    :meth:`join` returns a ``{key: result}`` dict for keys still open.
+    ``emissions=True`` (implied by ``dynamic``) adds the unbounded
+    side queue that carries non-``None`` ``process`` returns and
+    ``close_key`` results to :meth:`drain_emitted`.
     """
 
     def __init__(
@@ -218,9 +292,11 @@ class BlockWorkerPool:
         queue_blocks=DEFAULT_QUEUE_BLOCKS,
         mp_context=None,
         telemetry_blocks=None,
+        dynamic=False,
+        emissions=False,
     ):
         keys = list(keys)
-        if not keys:
+        if not keys and not dynamic:
             raise ValueError("BlockWorkerPool needs at least one key")
         jobs = max(1, int(jobs))
         queue_blocks = int(queue_blocks)
@@ -233,8 +309,9 @@ class BlockWorkerPool:
         self._keys = keys
         self._queue_blocks = queue_blocks
         self._telemetry_blocks = telemetry_blocks
+        self._dynamic = bool(dynamic)
         ctx = get_context(mp_context)
-        n_workers = min(jobs, len(keys))
+        n_workers = jobs if dynamic else min(jobs, len(keys))
         self._in_queues = [
             ctx.Queue(maxsize=queue_blocks) for _ in range(n_workers)
         ]
@@ -249,6 +326,17 @@ class BlockWorkerPool:
             if telemetry_blocks is not None and metrics_enabled
             else None
         )
+        # Emissions queue: incremental process() returns + close_key
+        # results.  Unbounded so workers never block on delivery.
+        self._emit_queue = ctx.Queue() if (emissions or dynamic) else None
+        #: key -> owning worker index (route for targeted publishes).
+        self._worker_of = {
+            key: index % n_workers for index, key in enumerate(keys)
+        }
+        #: open consumers per worker — the least-loaded placement signal.
+        self._open_counts = [0] * n_workers
+        for index in self._worker_of.values():
+            self._open_counts[index] += 1
         self._processes = []
         for index in range(n_workers):
             process = ctx.Process(
@@ -264,6 +352,7 @@ class BlockWorkerPool:
                     metrics_enabled,
                     telemetry_blocks,
                     self._telemetry_queue,
+                    self._emit_queue,
                 ),
                 daemon=True,
             )
@@ -280,11 +369,18 @@ class BlockWorkerPool:
         self.peak_segments = 0
         self.peak_queue_depth = 0
         self.telemetry_shards_drained = 0
+        self.emitted_drained = 0
 
     # -- publication --------------------------------------------------------
 
-    def publish(self, block):
-        """Ship one block to every worker; blocks on full worker queues.
+    def publish(self, block, key=None):
+        """Ship one block; blocks on full worker queues.
+
+        With ``key=None`` the block fans out to every worker (demux
+        broadcast).  With a key it travels only to the worker owning
+        that key and is consumed only by that key's consumer — the
+        segment refcount is 1, so targeted blocks release as soon as
+        their single receiver acks.
 
         The block is copied once into a fresh shared-memory segment (as
         its own dtype — the caller canonicalizes) and only descriptors
@@ -294,33 +390,45 @@ class BlockWorkerPool:
             raise ValueError("publish on a closed pool")
         t_publish = time.perf_counter()
         self._drain_acks()
+        if key is None:
+            receivers = list(range(len(self._processes)))
+        else:
+            worker_index = self._worker_of.get(key)
+            if worker_index is None:
+                raise KeyError(f"publish to unknown key {key!r}")
+            receivers = [worker_index]
         block = np.ascontiguousarray(block)
         seq = self._seq
         self._seq += 1
         if block.size == 0:
-            descriptor = (seq, None, 0, block.dtype.str)
+            descriptor = ("block", seq, None, 0, block.dtype.str, key)
         else:
             shm = shared_memory.SharedMemory(create=True, size=block.nbytes)
             staging = np.frombuffer(shm.buf, dtype=block.dtype, count=block.size)
             staging[:] = block.ravel()
             del staging
-            self._segments[seq] = [shm, len(self._processes)]
+            self._segments[seq] = [shm, len(receivers)]
             self.peak_segments = max(self.peak_segments, len(self._segments))
             self.bytes_shared += int(block.nbytes)
             _POOL_BYTES.inc(int(block.nbytes))
             _POOL_SEGMENTS.set(len(self._segments))
-            descriptor = (seq, shm.name, int(block.size), block.dtype.str)
-        for process, in_queue in zip(self._processes, self._in_queues):
-            self._put(in_queue, process, descriptor)
+            descriptor = (
+                "block", seq, shm.name, int(block.size), block.dtype.str, key
+            )
+        for index in receivers:
+            self._put(self._in_queues[index], self._processes[index], descriptor)
         self.blocks_published += 1
         self.samples_published += int(block.size)
         _POOL_BLOCKS.inc()
         _PUBLISH_STALL.observe(time.perf_counter() - t_publish)
         self._observe_queue_depth()
 
-    def can_accept(self):
-        """True when every worker queue has room for one more descriptor.
+    def can_accept(self, key=None):
+        """True when the receiving worker queue(s) have room for one more.
 
+        With ``key=None`` every worker queue must have room (a broadcast
+        touches them all); with a key only that key's worker is checked,
+        so one slow tenant backpressures its own stream, not the fleet.
         The pool is single-producer, so a non-full queue cannot fill
         underneath the caller — ``can_accept() -> publish()`` will not
         block.  This is the hook a bounded ring producer uses to turn
@@ -329,14 +437,89 @@ class BlockWorkerPool:
         """
         self._drain_acks()
         self._check_worker_failure()
-        return all(not q.full() for q in self._in_queues)
+        if key is None:
+            return all(not q.full() for q in self._in_queues)
+        worker_index = self._worker_of.get(key)
+        if worker_index is None:
+            raise KeyError(f"can_accept for unknown key {key!r}")
+        return not self._in_queues[worker_index].full()
 
-    def try_publish(self, block):
+    def try_publish(self, block, key=None):
         """Publish without blocking; returns ``False`` when backpressured."""
-        if not self.can_accept():
+        if not self.can_accept(key):
             return False
-        self.publish(block)
+        self.publish(block, key=key)
         return True
+
+    # -- dynamic keys --------------------------------------------------------
+
+    def open_key(self, key, config=None):
+        """Build a consumer for ``key`` mid-stream; returns its worker index.
+
+        The key lands on the least-loaded worker (fewest open consumers,
+        ties to the lowest index — deterministic given the open/close
+        history).  ``config=None`` reuses the pool's config; a dict (or
+        any picklable) overrides it for this key only, which is how
+        per-tenant engine configuration stays isolated.
+        """
+        if self._closed:
+            raise ValueError("open_key on a closed pool")
+        if key in self._worker_of:
+            raise ValueError(f"key {key!r} already open")
+        worker_index = min(
+            range(len(self._processes)), key=lambda i: (self._open_counts[i], i)
+        )
+        self._worker_of[key] = worker_index
+        self._open_counts[worker_index] += 1
+        self._keys.append(key)
+        self._put(
+            self._in_queues[worker_index],
+            self._processes[worker_index],
+            ("open", key, config),
+        )
+        return worker_index
+
+    def close_key(self, key):
+        """Finish ``key``'s consumer now; its result ships via emissions.
+
+        The caller must stop publishing to ``key`` first.  The finished
+        consumer's result arrives on :meth:`drain_emitted` as
+        ``("closed", key, result)`` once the worker drains the blocks
+        already queued ahead of the close message.
+        """
+        if self._closed:
+            raise ValueError("close_key on a closed pool")
+        worker_index = self._worker_of.pop(key, None)
+        if worker_index is None:
+            raise KeyError(f"close_key for unknown key {key!r}")
+        self._open_counts[worker_index] -= 1
+        self._keys.remove(key)
+        self._put(
+            self._in_queues[worker_index],
+            self._processes[worker_index],
+            ("close", key),
+        )
+
+    def drain_emitted(self):
+        """Drain pending emissions (never blocks).
+
+        Returns ``[(kind, key, value), ...]`` in arrival order, where
+        ``kind`` is ``"emit"`` (a non-``None`` ``process`` return) or
+        ``"closed"`` (a :meth:`close_key` result).  Per-key order is the
+        worker's processing order; cross-key interleaving follows queue
+        arrival.  Empty list when the pool has no emissions queue.
+        """
+        emitted = []
+        if self._emit_queue is None:
+            return emitted
+        while True:
+            try:
+                kind, _worker_index, key, value = self._emit_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            emitted.append((kind, key, value))
+        self.emitted_drained += len(emitted)
+        return emitted
 
     # -- live telemetry ------------------------------------------------------
 
@@ -381,7 +564,10 @@ class BlockWorkerPool:
     def join(self):
         """Send end-of-stream, gather results, merge metric shards.
 
-        Returns per-key results in the constructor's ``keys`` order.
+        Returns per-key results in the constructor's ``keys`` order —
+        or, for a ``dynamic`` pool, a ``{key: result}`` dict covering
+        the keys still open (results for keys retired earlier via
+        :meth:`close_key` already shipped through the emissions queue).
         Shards merge in worker-index order; stream shards are counters
         and histograms only, so totals are partition-independent.
         """
@@ -427,6 +613,8 @@ class BlockWorkerPool:
             for pairs in pairs_by_worker.values()
             for key, result in pairs
         }
+        if self._dynamic:
+            return {key: results_by_key[key] for key in self._keys}
         return [results_by_key[key] for key in self._keys]
 
     def close(self):
@@ -450,6 +638,8 @@ class BlockWorkerPool:
         queues = [*self._in_queues, self._ack_queue, self._out_queue]
         if self._telemetry_queue is not None:
             queues.append(self._telemetry_queue)
+        if self._emit_queue is not None:
+            queues.append(self._emit_queue)
         for q in queues:
             q.close()
             q.cancel_join_thread()
@@ -472,6 +662,8 @@ class BlockWorkerPool:
             "inflight_segments": len(self._segments),
             "peak_queue_depth": self.peak_queue_depth,
             "telemetry_shards_drained": self.telemetry_shards_drained,
+            "open_keys": len(self._worker_of),
+            "emitted_drained": self.emitted_drained,
         }
 
     # -- internals ----------------------------------------------------------

@@ -106,6 +106,13 @@ class CampaignResult:
         self.airtime_s = 0.0
         self.latencies_s = []
         self.events_processed = 0
+        #: Configured interference (from the manifest's noise model) and
+        #: the observed interferer activity accumulated per delivery
+        #: attempt — both deterministic, so summary() may carry them.
+        self.interference_duty = 0.0
+        self.n_interferers = 0
+        self.interferer_samples = 0
+        self.interferer_total = 0
         #: Wall-clock seconds; informational only, never in summary().
         self.elapsed_s = None
 
@@ -148,6 +155,15 @@ class CampaignResult:
             "delivery_ratio": round(self.delivery_ratio, 6),
             "utilization": round(self.utilization, 6),
             "latency": self._latency_stats(),
+            "interference": {
+                "duty": round(self.interference_duty, 6),
+                "n_interferers": self.n_interferers,
+                "mean_active": round(
+                    self.interferer_total / self.interferer_samples, 6
+                )
+                if self.interferer_samples
+                else 0.0,
+            },
             "events_processed": self.events_processed,
         }
 
@@ -227,6 +243,12 @@ class FleetSimulation:
             n_domains=len(self._domains),
             duration_s=self.duration_s,
             fidelity=self.fidelity,
+        )
+        self.result.interference_duty = float(
+            getattr(self.noise, "interference_duty", 0.0)
+        )
+        self.result.n_interferers = int(
+            getattr(self.noise, "max_interferers", 0)
         )
         self._sequences = {}
 
@@ -317,6 +339,8 @@ class FleetSimulation:
                 tx.node_id, tx.sequence, tx.attempt, tx.start_s
             )
             delivered = outcome.delivered
+            self.result.interferer_samples += 1
+            self.result.interferer_total += int(outcome.interferers)
         else:
             self.result.collided += 1
             _M_COLLIDED.inc()

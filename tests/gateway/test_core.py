@@ -1,0 +1,201 @@
+"""GatewayCore: admission control, backpressure, serial==pooled delivery."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.core import GatewayCore
+from repro.gateway.errors import (
+    ERR_DUPLICATE_TENANT,
+    ERR_SHUTTING_DOWN,
+    ERR_STREAM_ENDED,
+    ERR_TENANT_LIMIT,
+    ERR_UNKNOWN_TENANT,
+    GatewayError,
+)
+from repro.gateway.loadgen import build_workloads, drive_core, run_loadgen
+
+#: Fast decode path for end-to-end tests: one decimated channel.
+FAST_ENGINE = {
+    "demux": True,
+    "zigbee_channels": [13],
+    "decimation": 4,
+    "mode": "fast",
+    "working_dtype": "complex64",
+}
+
+
+def _zeros(n=256):
+    return np.zeros(n, dtype=np.complex64)
+
+
+class TestAdmissionControl:
+    def test_tenant_limit_refused_with_code(self):
+        with GatewayCore(max_tenants=2) as core:
+            core.admit("a")
+            core.admit("b")
+            with pytest.raises(GatewayError) as excinfo:
+                core.admit("c")
+            assert excinfo.value.code == ERR_TENANT_LIMIT
+
+    def test_finished_tenant_frees_a_slot(self):
+        with GatewayCore(max_tenants=1, engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.finish_tenant("a")
+            core.admit("b")  # the limit counts *active* tenants
+
+    def test_duplicate_tenant_refused(self):
+        with GatewayCore() as core:
+            core.admit("a")
+            with pytest.raises(GatewayError) as excinfo:
+                core.admit("a")
+            assert excinfo.value.code == ERR_DUPLICATE_TENANT
+
+    def test_unknown_tenant_refused(self):
+        with GatewayCore() as core:
+            with pytest.raises(GatewayError) as excinfo:
+                core.submit("ghost", _zeros())
+            assert excinfo.value.code == ERR_UNKNOWN_TENANT
+
+    def test_submit_after_finish_refused(self):
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.finish_tenant("a")
+            with pytest.raises(GatewayError) as excinfo:
+                core.submit("a", _zeros())
+            assert excinfo.value.code == ERR_STREAM_ENDED
+
+    def test_draining_gateway_refuses_admission(self):
+        # ``drain()`` finishes by closing the core, so the window where
+        # ``shutting-down`` is the answer is while the flag is up and
+        # tenants are still being finished — model that state directly.
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core._draining = True
+            with pytest.raises(GatewayError) as excinfo:
+                core.admit("b")
+            assert excinfo.value.code == ERR_SHUTTING_DOWN
+            assert core.draining
+
+    def test_drain_returns_undelivered_work(self):
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.submit("a", _zeros())
+            results = core.drain()
+        assert set(results) == {"a"}
+        assert results["a"]["stats"]["finished"]
+
+    def test_invalid_max_tenants(self):
+        with pytest.raises(ValueError):
+            GatewayCore(max_tenants=0)
+
+
+class TestBackpressure:
+    def test_overrun_sheds_blocks_not_memory(self):
+        # An unpumpable core (finished consumer never runs: we just never
+        # let the ring drain by using capacity 1 and giant blocks) must
+        # shed and account rather than queue without bound.
+        with GatewayCore(engine=FAST_ENGINE, ring_capacity=1) as core:
+            core.admit("a")
+            # Stuff the ring faster than pump can drain by bypassing pump:
+            state = core._tenants["a"]
+            assert state.ring.push(_zeros())
+            accepted = state.ring.push(_zeros())
+            assert not accepted
+            assert state.ring.stats()["overruns"] == 1
+
+    def test_submit_reports_shed(self):
+        with GatewayCore(engine=FAST_ENGINE, ring_capacity=4) as core:
+            core.admit("a")
+            assert core.submit("a", _zeros()) in (True, False)
+            stats = core.tenant_stats("a")
+            assert stats["ring"]["overruns"] + stats["blocks_in"] >= 1
+
+
+@pytest.mark.timeout(300)
+class TestEndToEndDelivery:
+    def test_serial_loadgen_is_byte_exact(self):
+        report = run_loadgen(
+            tenants=2,
+            senders=2,
+            seed=11,
+            duration_s=0.02,
+            engine=FAST_ENGINE,
+            jobs=1,
+            dtype="complex64",
+        )
+        assert report["ok"], report
+        assert all(row["byte_exact"] for row in report["tenants"])
+        assert sum(row["expected"] for row in report["tenants"]) > 0
+        assert report["aggregate_x_realtime"] > 0
+
+    def test_pooled_matches_serial_payloads(self):
+        def delivered(jobs):
+            workloads = build_workloads(
+                2, 2, seed=11, duration_s=0.02,
+                engine=FAST_ENGINE, dtype="complex64",
+            )
+            with GatewayCore(
+                engine=FAST_ENGINE, max_tenants=2, jobs=jobs
+            ) as core:
+                drive_core(core, workloads)
+            return {
+                w.tenant_id: sorted(
+                    (m["zigbee_channel"], m["msg_id"], m["data"])
+                    for m in w.delivered
+                )
+                for w in workloads
+            }
+
+        serial = delivered(1)
+        pooled = delivered(2)
+        assert serial == pooled
+        assert any(serial.values())  # the comparison is not vacuous
+
+    def test_per_tenant_engine_override_is_honored(self):
+        # Two tenants fed the same samples, one overriding the listen
+        # channel: each session decodes with *its own* engine (deliveries
+        # carry the tenant's configured channel), and only the matched
+        # listener recovers the full expected set.
+        workloads = build_workloads(
+            1, 2, seed=11, duration_s=0.02,
+            engine=FAST_ENGINE, dtype="complex64",
+        )
+        off_channel = dict(FAST_ENGINE, zigbee_channels=[11])
+        with GatewayCore(engine=FAST_ENGINE, max_tenants=2) as core:
+            core.admit("matched")
+            core.admit("detuned", engine=off_channel)
+            for workload in workloads:
+                for lo in range(0, workload.samples.size, 16384):
+                    block = workload.samples[lo : lo + 16384]
+                    core.submit("matched", block)
+                    core.submit("detuned", block)
+            matched = core.finish_tenant("matched")["messages"]
+            detuned = core.finish_tenant("detuned")["messages"]
+        assert len(matched) == len(workloads[0].expected) > 0
+        # Each session decoded with its own engine: deliveries carry the
+        # tenant's configured listen channel, so the override reached the
+        # consumer and the sessions never shared state.  (Payload content
+        # may coincide — decimation aliases the adjacent channel in.)
+        assert all(m["zigbee_channel"] == 13 for m in matched)
+        assert detuned and all(m["zigbee_channel"] == 11 for m in detuned)
+
+
+class TestIntrospection:
+    def test_stats_shape(self):
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.submit("a", _zeros())
+            stats = core.stats()
+        assert stats["active_tenants"] == 1
+        assert stats["jobs"] == 1
+        assert stats["pool"] is None
+        tenant = stats["tenants"]["a"]
+        assert tenant["blocks_in"] == 1
+        assert tenant["samples_in"] == 256
+        assert "ring" in tenant
+
+    def test_closed_core_refuses_use(self):
+        core = GatewayCore(engine=FAST_ENGINE)
+        core.close()
+        with pytest.raises(ValueError):
+            core.pump()

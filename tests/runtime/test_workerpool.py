@@ -261,3 +261,182 @@ class TestBlockWorkerPool:
             BlockWorkerPool(summing_consumer, None, [], jobs=2)
         with pytest.raises(ValueError):
             BlockWorkerPool(summing_consumer, None, ["k"], jobs=1, queue_blocks=0)
+
+
+class _EchoingConsumer:
+    """Returns ``(key, block_sum)`` per block so emissions are observable."""
+
+    def __init__(self, key):
+        self.key = key
+        self.blocks = 0
+
+    def process(self, block):
+        self.blocks += 1
+        return (self.key, float(block.sum().real))
+
+    def finish(self):
+        return (self.key, self.blocks)
+
+
+def echoing_consumer(config, key):
+    return _EchoingConsumer(key)
+
+
+def _drain_until(pool, want, timeout_s=30.0):
+    """Collect emissions until ``want(items)`` is satisfied."""
+    items = []
+    deadline = time.monotonic() + timeout_s
+    while not want(items):
+        items.extend(pool.drain_emitted())
+        if time.monotonic() > deadline:
+            raise AssertionError(f"emissions never satisfied; got {items}")
+        time.sleep(0.005)
+    return items
+
+
+@pytest.mark.timeout(120)
+class TestDynamicKeys:
+    def test_open_publish_close_lifecycle(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=2, dynamic=True
+        ) as pool:
+            pool.open_key("a")
+            pool.open_key("b")
+            pool.publish(np.ones(4, dtype=np.complex128), key="a")
+            pool.publish(np.full(4, 2.0, dtype=np.complex128), key="b")
+            pool.publish(np.ones(2, dtype=np.complex128), key="a")
+            pool.close_key("a")
+            closed = _drain_until(
+                pool, lambda items: any(k == "closed" for k, _, _ in items)
+            )
+            results = pool.join()
+        # "a" closed mid-run and shipped its result on the emissions
+        # queue; "b" was still open, so join() returns it.
+        assert ("closed", "a", ("a", 2)) in closed
+        assert results == {"b": ("b", 1)}
+
+    def test_emissions_carry_process_returns(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=2, dynamic=True
+        ) as pool:
+            pool.open_key("k")
+            pool.publish(np.full(8, 3.0, dtype=np.complex128), key="k")
+            emitted = _drain_until(
+                pool, lambda items: any(k == "emit" for k, _, _ in items)
+            )
+            pool.join()
+        assert ("emit", "k", ("k", 24.0)) in emitted
+
+    def test_targeted_publish_reaches_only_its_key(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=2, dynamic=True
+        ) as pool:
+            for key in ("a", "b", "c"):
+                pool.open_key(key)
+            for _ in range(3):
+                pool.publish(np.ones(4, dtype=np.complex128), key="a")
+            pool.publish(np.ones(4, dtype=np.complex128), key="c")
+            results = pool.join()
+        assert results == {"a": ("a", 3), "b": ("b", 0), "c": ("c", 1)}
+
+    def test_broadcast_still_reaches_every_open_key(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=2, dynamic=True
+        ) as pool:
+            pool.open_key("a")
+            pool.open_key("b")
+            pool.publish(np.ones(4, dtype=np.complex128))  # no key: broadcast
+            results = pool.join()
+        assert results == {"a": ("a", 1), "b": ("b", 1)}
+
+    def test_unknown_key_rejected(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=1, dynamic=True
+        ) as pool:
+            with pytest.raises(KeyError):
+                pool.publish(np.ones(4, dtype=np.complex128), key="ghost")
+            with pytest.raises(KeyError):
+                pool.close_key("ghost")
+            pool.join()
+
+    def test_duplicate_open_rejected(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=1, dynamic=True
+        ) as pool:
+            pool.open_key("a")
+            with pytest.raises(ValueError):
+                pool.open_key("a")
+            pool.join()
+
+    def test_placement_is_least_loaded_and_deterministic(self):
+        def placements():
+            with BlockWorkerPool(
+                echoing_consumer, None, [], jobs=2, dynamic=True
+            ) as pool:
+                mapping = {key: pool.open_key(key) for key in ("a", "b", "c")}
+                pool.close_key("a")
+                _drain_until(
+                    pool, lambda items: any(k == "closed" for k, _, _ in items)
+                )
+                mapping["d"] = pool.open_key("d")  # lands on the freed worker
+                pool.join()
+            return mapping
+
+        first = placements()
+        second = placements()
+        assert first == second
+        # Ties break toward the lowest index; "d" reuses "a"'s slot.
+        assert first["a"] == 0 and first["b"] == 1 and first["c"] == 0
+        assert first["d"] == first["a"]
+
+    def test_per_key_backpressure_is_isolated(self):
+        with BlockWorkerPool(
+            slow_consumer, None, [], jobs=2, dynamic=True, queue_blocks=1
+        ) as pool:
+            pool.open_key("slow")
+            pool.open_key("idle")
+            block = np.ones(4, dtype=np.complex128)
+            # Wait out worker spawn: the ("open", ...) control message
+            # itself occupies the bounded queue until the worker is up.
+            deadline = time.monotonic() + 60.0
+            while not pool.can_accept("idle"):
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            while pool.try_publish(block, key="slow"):
+                pass
+            # "slow"'s worker is saturated, but "idle"'s still accepts.
+            assert not pool.can_accept("slow")
+            assert pool.can_accept("idle")
+            pool.join()
+
+    def test_stats_expose_open_keys(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, [], jobs=2, dynamic=True
+        ) as pool:
+            pool.open_key("a")
+            assert pool.stats()["open_keys"] == 1
+            pool.join()
+
+
+@pytest.mark.timeout(120)
+class TestStaticEmissions:
+    def test_emissions_opt_in_for_static_pools(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, ["k"], jobs=1, emissions=True
+        ) as pool:
+            pool.publish(np.ones(4, dtype=np.complex128))
+            emitted = _drain_until(
+                pool, lambda items: any(k == "emit" for k, _, _ in items)
+            )
+            (result,) = pool.join()
+        assert ("emit", "k", ("k", 4.0)) in emitted
+        assert result == ("k", 1)
+        assert pool.stats()["emitted_drained"] >= 1
+
+    def test_no_emissions_queue_when_disabled(self):
+        with BlockWorkerPool(
+            echoing_consumer, None, ["k"], jobs=1
+        ) as pool:
+            pool.publish(np.ones(4, dtype=np.complex128))
+            assert pool.drain_emitted() == []
+            pool.join()

@@ -61,6 +61,46 @@ class TestDeterminism:
         assert "elapsed" not in json.dumps(result.summary())
 
 
+class TestInterferenceSummary:
+    def test_quiet_campaign_reports_zero_duty(self):
+        summary = run_campaign(
+            dict(BASE_MANIFEST), table=logistic_table()
+        ).summary()
+        assert summary["interference"] == {
+            "duty": 0.0,
+            "n_interferers": 0,
+            "mean_active": 0.0,
+        }
+
+    def test_duty_threads_from_manifest_to_summary(self):
+        manifest = dict(
+            BASE_MANIFEST,
+            noise={
+                "kind": "ambient",
+                "interference_duty": 0.4,
+                "n_interferers": 2,
+            },
+        )
+        summary = run_campaign(manifest, table=logistic_table()).summary()
+        info = summary["interference"]
+        assert info["duty"] == 0.4
+        assert info["n_interferers"] == 2
+        # Observed activity is duty x n in expectation; generous bounds
+        # keep the assertion seed-stable.
+        assert 0.3 < info["mean_active"] < 1.3
+
+    def test_mean_active_is_deterministic(self):
+        manifest = dict(
+            BASE_MANIFEST,
+            noise={"kind": "ambient", "interference_duty": 0.25},
+        )
+        table = logistic_table()
+        a = run_campaign(dict(manifest), table=table).summary_json()
+        b = run_campaign(dict(manifest), table=table).summary_json()
+        assert a == b
+        assert json.loads(a)["interference"]["duty"] == 0.25
+
+
 class TestMacBehaviour:
     def test_contention_produces_defers_and_collisions(self):
         table = logistic_table()
