@@ -390,6 +390,7 @@ def _cmd_listen(args):
             decimation=args.decimation,
             mode=args.kernel_mode,
             working_dtype=np.complex64 if args.float32 else None,
+            scan_kernel=args.scan_kernel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1068,6 +1069,8 @@ def _cmd_info(_args):
 
 
 def build_parser():
+    from repro.stream.scan import DEFAULT_SCAN_KERNEL, SCAN_KERNELS
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="SymBee reproduction command line",
@@ -1155,13 +1158,22 @@ def build_parser():
     listen.add_argument(
         "--decimation", type=int, default=None, metavar="D",
         help="channelizer decimation factor (demux only; D must divide "
-             "the product lag — default 1, no decimation)",
+             "the product lag and bit period: 1, 2, 4 or 8 at 20 Msps — "
+             "the vote window floors at D=8 — default 1, no decimation)",
     )
     listen.add_argument(
         "--kernel-mode", choices=("exact", "fast"), default="exact",
         help="DSP kernel mode: 'exact' keeps bit-exact block-size "
              "invariance, 'fast' uses native complex kernels "
              "(decode-equivalent; default exact)",
+    )
+    listen.add_argument(
+        "--scan-kernel", choices=tuple(SCAN_KERNELS), metavar="KERNEL",
+        default=DEFAULT_SCAN_KERNEL,
+        help="preamble scan backend: 'batched' (default; 2-D batched "
+             "cascade, bit-identical to 'grouped'), 'grouped' (PR-5 "
+             "reference), 'fft' (overlap-save FFT fold profile, "
+             "decode-equivalent)",
     )
     listen.add_argument(
         "--float32", action="store_true",

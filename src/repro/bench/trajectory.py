@@ -11,6 +11,13 @@ common schema.  It walks each artifact for the throughput-like leaves
   in artifact order, so the PR-over-PR arc is one glance; and
 * a **detail table** — every throughput leaf with its config path.
 
+Two artifacts get first-class sections on top of the generic leaf
+walk, because their headline figures are not sample throughputs: the
+gateway capacity artifact (``BENCH_GATEWAY.json``, headline
+**tenants-per-core at realtime**) and the fleet simulator artifact
+(``BENCH_PR8.json``, headline **frames/s**).  Both appear as dedicated
+tables and as ``gateway`` / ``sim`` keys in the JSON document.
+
 When ``BENCH_SMOKE_TREND.jsonl`` exists (appended by the CI perf-smoke
 trend gate), its most recent entries are shown as well; when
 ``BENCH_SMOKE_LIVE.jsonl`` exists (a ``listen --metrics-stream`` live
@@ -40,8 +47,15 @@ TREND_FILENAME = "BENCH_SMOKE_TREND.jsonl"
 #: Live time series captured by the CI perf-smoke job's listen run.
 LIVE_FILENAME = "BENCH_SMOKE_LIVE.jsonl"
 
+#: Gateway capacity artifact given a first-class section.
+GATEWAY_FILENAME = "BENCH_GATEWAY.json"
+
+#: Fleet simulator artifact given a first-class section.
+SIM_FILENAME = "BENCH_PR8.json"
+
 #: Version of the ``trajectory_report`` / ``--json`` document shape.
-REPORT_SCHEMA_VERSION = 1
+#: 2 added the ``gateway`` and ``sim`` first-class sections.
+REPORT_SCHEMA_VERSION = 2
 
 
 def _walk_throughput(obj, path=()):
@@ -145,18 +159,98 @@ def read_live_summary(root):
     }
 
 
+def _read_json(path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def gateway_summary(root):
+    """Tenants-per-core capacity rows from the gateway artifact.
+
+    Reads ``BENCH_GATEWAY.json`` and reduces each backend row (any dict
+    carrying ``tenants_per_core_at_realtime``) to the capacity claim:
+    tenants served, cores used, tenants-per-core at realtime, and the
+    per-tenant Msps behind it.  Returns ``None`` when the artifact is
+    absent or unreadable.
+    """
+    data = _read_json(Path(root) / GATEWAY_FILENAME)
+    if not isinstance(data, dict):
+        return None
+    rows = []
+    for key, value in data.items():
+        if (
+            isinstance(value, dict)
+            and "tenants_per_core_at_realtime" in value
+        ):
+            rows.append(
+                {
+                    "config": key,
+                    "tenants": value.get("tenants"),
+                    "cores_used": value.get("cores_used"),
+                    "tenants_per_core_at_realtime": float(
+                        value["tenants_per_core_at_realtime"]
+                    ),
+                    "effective_msps": value.get("effective_msps"),
+                }
+            )
+    if not rows:
+        return None
+    gates = data.get("gates", {})
+    return {
+        "rows": rows,
+        "target_tenants_per_core": gates.get("target_tenants_per_core"),
+        "cpu_count": data.get("cpu_count"),
+    }
+
+
+def sim_summary(root):
+    """Frames-per-second rows from the fleet simulator artifact.
+
+    Reads ``BENCH_PR8.json`` and reduces each campaign row (any dict
+    carrying ``frames_per_sec``) to the simulator claim: fleet size,
+    frames offered, delivery ratio, wall seconds, frames/s.  Returns
+    ``None`` when the artifact is absent or unreadable.
+    """
+    data = _read_json(Path(root) / SIM_FILENAME)
+    if not isinstance(data, dict):
+        return None
+    rows = []
+    for key, value in data.items():
+        if isinstance(value, dict) and "frames_per_sec" in value:
+            rows.append(
+                {
+                    "config": key,
+                    "nodes": value.get("nodes"),
+                    "frames_offered": value.get("frames_offered"),
+                    "delivery_ratio": value.get("delivery_ratio"),
+                    "wall_seconds": value.get("wall_seconds"),
+                    "frames_per_sec": float(value["frames_per_sec"]),
+                }
+            )
+    if not rows:
+        return None
+    return {
+        "rows": rows,
+        "fast_path_speedup": data.get("fast_path_speedup"),
+    }
+
+
 def trajectory_report(root="."):
     """The trajectory as one stable machine-readable document.
 
-    Schema (``schema_version`` 1)::
+    Schema (``schema_version`` 2)::
 
-        {"schema_version": 1,
+        {"schema_version": 2,
          "root": str,
          "artifacts": [{"name", "error"?,
                         "best_streaming": {"config", "effective_msps",
                                            "x_realtime"} | null,
                         "throughput": [{"config", "key", "value",
                                         "unit"}]}],
+         "gateway": gateway_summary() | null,
+         "sim": sim_summary() | null,
          "trend": [trend entries, newest last],
          "live": read_live_summary() | null}
     """
@@ -192,6 +286,8 @@ def trajectory_report(root="."):
         "schema_version": REPORT_SCHEMA_VERSION,
         "root": str(Path(root).resolve()),
         "artifacts": artifacts,
+        "gateway": gateway_summary(root),
+        "sim": sim_summary(root),
         "trend": read_trend(root),
         "live": read_live_summary(root),
     }
@@ -253,6 +349,70 @@ def print_trajectory(root=".", print_fn=print):
             title="all recorded throughput figures",
         )
 
+    gateway = gateway_summary(root)
+    if gateway is not None:
+        target = gateway.get("target_tenants_per_core")
+        gateway_rows = [
+            (
+                row["config"],
+                str(row["tenants"] if row["tenants"] is not None else "-"),
+                str(
+                    row["cores_used"]
+                    if row["cores_used"] is not None
+                    else "-"
+                ),
+                f"{row['tenants_per_core_at_realtime']:.2f}",
+                f"{row['effective_msps']:.2f}"
+                if row["effective_msps"] is not None
+                else "-",
+            )
+            for row in gateway["rows"]
+        ]
+        print_table(
+            ("config", "tenants", "cores", "tenants/core", "Msps"),
+            gateway_rows,
+            title=(
+                f"gateway capacity ({GATEWAY_FILENAME}"
+                + (
+                    f", target {target:g} tenants/core)"
+                    if target is not None
+                    else ")"
+                )
+            ),
+        )
+
+    sim = sim_summary(root)
+    if sim is not None:
+        sim_rows = [
+            (
+                row["config"],
+                str(row["nodes"] if row["nodes"] is not None else "-"),
+                str(
+                    row["frames_offered"]
+                    if row["frames_offered"] is not None
+                    else "-"
+                ),
+                f"{row['delivery_ratio']:.4f}"
+                if row["delivery_ratio"] is not None
+                else "-",
+                f"{row['frames_per_sec']:.1f}",
+            )
+            for row in sim["rows"]
+        ]
+        speedup = sim.get("fast_path_speedup")
+        print_table(
+            ("campaign", "nodes", "frames", "delivery", "frames/s"),
+            sim_rows,
+            title=(
+                f"fleet simulator ({SIM_FILENAME}"
+                + (
+                    f", fast path {speedup:g}x)"
+                    if speedup is not None
+                    else ")"
+                )
+            ),
+        )
+
     trend = read_trend(root)
     if trend:
         trend_rows = [
@@ -264,11 +424,14 @@ def print_trajectory(root=".", print_fn=print):
                 else "-",
                 f"{entry['jobs2_msps']:.2f}" if "jobs2_msps" in entry else "-",
                 f"{entry['jobs4_msps']:.2f}" if "jobs4_msps" in entry else "-",
+                f"{entry['scan_noise_msps']:.2f}"
+                if "scan_noise_msps" in entry
+                else "-",
             )
             for entry in trend
         ]
         print_table(
-            ("recorded", "cpus", "serial Msps", "jobs=2", "jobs=4"),
+            ("recorded", "cpus", "serial Msps", "jobs=2", "jobs=4", "scan"),
             trend_rows,
             title=f"perf-smoke trend (last {len(trend)} of {TREND_FILENAME})",
         )

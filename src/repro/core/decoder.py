@@ -86,25 +86,31 @@ class SymBeeDecoder:
         #: decimating channelizer (``repro.stream``) hands over products
         #: formed on a ``decimation``-times slower sub-band stream, so
         #: every per-sample quantity below shrinks by the same factor.
-        #: Must divide the lag, window and bit period exactly (1, 2 or 4
-        #: at 20 Msps; additionally 8 at 40 Msps).
+        #: Must divide the lag and the bit period exactly (1, 2, 4 or 8
+        #: at 20 Msps; additionally 16 at 40 Msps).  The vote window is
+        #: *floored* when it does not divide evenly (84 -> 10 at
+        #: decimation 8): voting then covers the first ``window *
+        #: decimation`` full-rate positions of the stable plateau, which
+        #: only trims the tail of the plateau and keeps the majority
+        #: vote well-defined.
         self.decimation = int(decimation)
         if self.decimation < 1:
             raise ValueError("decimation must be >= 1")
         lag = WIFI_AUTOCORR_LAG_20MHZ * scale
         window = SYMBEE_STABLE_WINDOW_20MHZ * scale
         bit_period = SYMBEE_BIT_PERIOD_20MHZ * scale
-        if any(v % self.decimation for v in (lag, window, bit_period)):
+        if lag % self.decimation or bit_period % self.decimation:
             raise ValueError(
-                f"decimation {self.decimation} must divide the lag ({lag}), "
-                f"window ({window}) and bit period ({bit_period}); at "
+                f"decimation {self.decimation} must divide the lag ({lag}) "
+                f"and bit period ({bit_period}); at "
                 f"{sample_rate / 1e6:g} Msps the valid factors are the "
-                f"divisors of {np.gcd.reduce([lag, window, bit_period])}"
+                f"divisors of {np.gcd.reduce([lag, bit_period])}"
             )
         #: Autocorrelation lag (16 at 20 Msps, 32 at 40 Msps), divided by
         #: the decimation factor (the 0.8 us lag spans fewer samples).
         self.lag = lag // self.decimation
-        #: Stable-plateau window length (84 / 168, decimation-scaled).
+        #: Stable-plateau window length (84 / 168), decimation-scaled
+        #: with flooring when the plateau does not divide evenly.
         self.window = window // self.decimation
         #: Phase samples between consecutive SymBee bits (640 / 1280,
         #: decimation-scaled).

@@ -165,10 +165,19 @@ class GatewayCore:
         self._ensure_open()
         if self._draining:
             raise GatewayError(ERR_SHUTTING_DOWN, "gateway is draining")
-        if tenant_id in self._tenants:
-            raise GatewayError(
-                ERR_DUPLICATE_TENANT, f"tenant {tenant_id!r} already admitted"
-            )
+        previous = self._tenants.get(tenant_id)
+        if previous is not None:
+            if not previous.finished:
+                raise GatewayError(
+                    ERR_DUPLICATE_TENANT,
+                    f"tenant {tenant_id!r} already admitted",
+                )
+            # A finished stream releases its id: re-admission starts a
+            # fresh session (new ring, new engine state, zeroed stats).
+            # The old state's results were already handed back by
+            # finish_tenant, and its pool key is closed, so nothing of
+            # the previous session can leak into the new one.
+            del self._tenants[tenant_id]
         if self._active_count() >= self.max_tenants:
             _REJECTED.inc()
             raise GatewayError(
@@ -280,9 +289,10 @@ class GatewayCore:
 
         Returns ``{"messages": [...], "stats": {...}}`` with every
         not-yet-polled message (including trailing ones the engine only
-        emits at flush).  The tenant id stays registered — a finished
-        stream cannot be re-opened under the same id within a gateway's
-        lifetime.
+        emits at flush).  The finished state stays registered for
+        ``tenant_stats`` until the id is re-admitted — finishing
+        releases the id, and a later :meth:`admit` under the same id
+        starts a completely fresh session.
         """
         state = self._require(tenant_id)
         if state.finished:

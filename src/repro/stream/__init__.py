@@ -15,16 +15,24 @@ from repro.stream.frontend import (
     FrontEndBlock,
     StreamingFrontEnd,
     design_lowpass,
+    supported_decimations,
 )
 from repro.stream.ring import RingBufferSource
+from repro.stream.scan import (
+    DEFAULT_SCAN_KERNEL,
+    SCAN_KERNELS,
+    validate_scan_kernel,
+)
 from repro.stream.session import StreamFrame, StreamSession
 
 __all__ = [
     "ChannelConsumer",
     "ChannelizerFrontEnd",
+    "DEFAULT_SCAN_KERNEL",
     "FastChannelBank",
     "FrontEndBlock",
     "RingBufferSource",
+    "SCAN_KERNELS",
     "StreamEngine",
     "StreamFrame",
     "StreamSession",
@@ -32,4 +40,6 @@ __all__ = [
     "batch_decode_stream",
     "channel_consumer",
     "design_lowpass",
+    "supported_decimations",
+    "validate_scan_kernel",
 ]

@@ -217,6 +217,37 @@ def _mixer_period(frequency_offset_hz, sample_rate, max_period=1 << 16):
     return period if period <= max_period else None
 
 
+def supported_decimations(sample_rate=None):
+    """Legal channelizer decimation factors at ``sample_rate``.
+
+    A decimation factor must divide both the autocorrelation lag (so
+    the decimated product stream still realizes the 0.8 us lag as a
+    whole number of samples) and the SymBee bit period (so the bit grid
+    stays exactly periodic in decimated units).  The stable-plateau
+    vote *window* need not divide evenly — the decoder floors it (84 ->
+    10 at decimation 8, trimming four full-rate positions off the
+    plateau tail) — so the legality analysis is ``gcd(lag,
+    bit_period)``: its divisors are ``(1, 2, 4, 8, 16)`` at 20 Msps and
+    twice that at 40 Msps.  Factors above 8 at 20 Msps are *legal* but
+    leave at most 5 decimated plateau positions per bit next to a
+    21-tap anti-alias FIR's edge loss — decode quality collapses, so
+    the engine and CLI treat 8 as the practical ceiling.
+    """
+    from math import gcd
+
+    from repro.constants import (
+        SYMBEE_BIT_PERIOD_20MHZ,
+        WIFI_AUTOCORR_LAG_20MHZ,
+        WIFI_SAMPLE_RATE_20MHZ,
+    )
+
+    if sample_rate is None:
+        sample_rate = WIFI_SAMPLE_RATE_20MHZ
+    scale = int(sample_rate / WIFI_SAMPLE_RATE_20MHZ)
+    g = gcd(WIFI_AUTOCORR_LAG_20MHZ * scale, SYMBEE_BIT_PERIOD_20MHZ * scale)
+    return tuple(d for d in range(1, g + 1) if g % d == 0)
+
+
 class ChannelizerFrontEnd:
     """One demux sub-band: mix to DC, low-pass, decimate, then products.
 

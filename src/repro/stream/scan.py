@@ -1,0 +1,92 @@
+"""Scan-kernel registry for the idle-listening preamble search.
+
+The session's search state is by far the hottest idle path — a receiver
+at 20 Msps spends almost all of its time scanning noise for a preamble,
+not decoding frames — so the scanner is a swappable backend benchmarked
+head-to-head (the same framing the exact/fast registry in
+:mod:`repro.dsp.kernels` gives the arithmetic kernels) rather than a
+hardcoded loop:
+
+* ``grouped`` — the PR-5 scanner: dense count/coherence gates over
+  groups of 8 chunks, then a Python loop running the concentration
+  stage per surviving chunk.  Kept as the reference implementation.
+* ``batched`` (default) — the whole gate cascade evaluated over a
+  strided 2-D view of many chunks per vector dispatch: one masked
+  row-max replaces the per-chunk ``np.where``/``max`` pair, the
+  concentration stage runs for every surviving chunk in one batch, and
+  the Python loop shrinks to the cluster-anchor arithmetic of chunks
+  that cleared *every* dense gate.  **Bit-identical decisions and
+  metrics** to ``grouped``: every gate is a pure function of one
+  chunk's cache slice and both kernels compare exactly the same floats,
+  so batching cannot change an outcome (asserted by the test suite).
+* ``fft`` — the ``batched`` cascade over a fold profile computed by the
+  overlap-save FFT comb correlation
+  (:func:`repro.dsp.kernels.preamble_fold_fft`) instead of the exact
+  direct fold.  Decode-equivalent, not bit-identical: the FFT profile
+  differs from the exact one at ~1e-13 relative, well inside the gate
+  slack.  Exists so the FFT-vs-direct trade is measured, not assumed —
+  with only ``folds = 4`` comb taps the direct fold is 3 vector adds
+  and usually wins.
+"""
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_SCAN_KERNEL",
+    "SCAN_KERNELS",
+    "ScanKernel",
+    "validate_scan_kernel",
+]
+
+
+@dataclass(frozen=True)
+class ScanKernel:
+    """One scanner backend: cascade shape + fold-profile arithmetic."""
+
+    name: str
+    #: Whether the gate cascade runs over the strided 2-D chunk batch
+    #: (one vector dispatch per gate) or the PR-5 per-chunk loop.
+    batched: bool
+    #: :func:`repro.dsp.kernels.preamble_fold` mode used to build the
+    #: derived fold-profile caches ("exact" keeps the bit-identity
+    #: contract; "fast" is the overlap-save FFT correlation).
+    fold_mode: str
+    description: str
+
+
+SCAN_KERNELS = {
+    "grouped": ScanKernel(
+        name="grouped",
+        batched=False,
+        fold_mode="exact",
+        description="PR-5 reference: dense gates per 8-chunk group, "
+        "per-chunk Python cascade",
+    ),
+    "batched": ScanKernel(
+        name="batched",
+        batched=True,
+        fold_mode="exact",
+        description="full cascade over a strided 2-D chunk batch, "
+        "bit-identical to grouped",
+    ),
+    "fft": ScanKernel(
+        name="fft",
+        batched=True,
+        fold_mode="fast",
+        description="batched cascade over the overlap-save FFT comb "
+        "correlation profile (decode-equivalent)",
+    ),
+}
+
+DEFAULT_SCAN_KERNEL = "batched"
+
+
+def validate_scan_kernel(name):
+    """Return the :class:`ScanKernel` for ``name`` (raise if unknown)."""
+    try:
+        return SCAN_KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scan kernel {name!r}; expected one of "
+            f"{tuple(SCAN_KERNELS)}"
+        ) from None

@@ -51,6 +51,22 @@ per-chunk summation, so their last ~1e-11 (float64) differs from
 used consistently, so decisions are deterministic and block-size
 invariant either way.
 
+**The scan-kernel registry (PR 10).**  ``_search_scan`` is bound at
+construction from :mod:`repro.stream.scan`: ``grouped`` keeps the PR-5
+cascade (dense gates per 8-chunk group, per-chunk Python loop) as the
+reference, ``batched`` (default) evaluates every gate over a strided
+2-D view of all buffered chunks in one vector dispatch per gate, and
+``fft`` runs the batched cascade over the overlap-save FFT fold
+profile.  ``grouped`` and ``batched`` compare exactly the same floats
+chunk by chunk, so their decisions — and their outcome metrics — are
+bit-identical by construction.  When the metrics registry is disabled
+the batched kernel additionally fuses the header gate into the scan
+loop: a scan hit evaluates the 24-bit header word in place and a
+reject rewinds the origin without leaving the loop, skipping the
+search→header→search state dispatch that dominates signal-dense
+streams (with metrics enabled every hit routes through the reference
+state machine so the metric stream is unchanged).
+
 **Working dtype.**  ``dtype=numpy.complex64`` (the fast kernel mode's
 optional float32 working precision) halves the memory traffic of every
 cache.  The float gate caches then carry ~1e-3 of prefix-cancellation
@@ -86,7 +102,10 @@ from repro.core.preamble import (
     _MISS_COUNT,
     capture_preamble,
 )
+from repro.dsp.kernels import preamble_fold
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.stream.scan import DEFAULT_SCAN_KERNEL, validate_scan_kernel
 
 _HEADER_BITS = 24
 
@@ -96,8 +115,23 @@ _HEADER_BITS = 24
 #: across everything buffered behind it.
 _SCAN_GROUP_CHUNKS = 8
 
+#: Batched scanner pass sizing: the first pass of every ``_search`` call
+#: covers ``_SCAN_BATCH_MIN`` chunks (the post-header-reject rescan cost
+#: stays bounded exactly like the grouped kernel's cap), then each
+#: further pass in the same call grows by ``_SCAN_BATCH_GROWTH`` up to
+#: ``_SCAN_BATCH_MAX`` — deep buffers (large blocks, long noise gaps)
+#: amortize the dispatches over wider and wider 2-D batches.  Batch
+#: sizing cannot change any decision: every gate is a pure function of
+#: one chunk's cache slice.
+_SCAN_BATCH_MIN = 8
+_SCAN_BATCH_GROWTH = 4
+_SCAN_BATCH_MAX = 64
 
-def _unit_from_products(chunk, fill):
+#: Shared empty row-index array for batches with nothing to look at.
+_EMPTY_ROWS = np.empty(0, dtype=np.intp)
+
+
+def _unit_from_products(chunk, fill, out=None):
     """Deterministic unit phasors (zero products take ``fill``).
 
     Magnitude as ``sqrt(re*re + im*im)`` and one real divide per plane —
@@ -109,12 +143,14 @@ def _unit_from_products(chunk, fill):
     block-size dependence into the capture coherence.  Works in the
     chunk's own precision (complex64 in fast float32 sessions).
     """
-    mag = np.sqrt(chunk.real * chunk.real + chunk.imag * chunk.imag)
+    mag = chunk.real * chunk.real
+    mag += chunk.imag * chunk.imag
+    np.sqrt(mag, out=mag)
     zero = mag == 0.0
     has_zero = bool(zero.any())
     if has_zero:
         mag[zero] = 1.0
-    unit = np.empty(chunk.size, dtype=chunk.dtype)
+    unit = np.empty(chunk.size, dtype=chunk.dtype) if out is None else out
     unit.real = chunk.real / mag
     unit.imag = chunk.imag / mag
     if has_zero:
@@ -195,6 +231,25 @@ class _StreamBuffer:
         self.base += drop
         self._len -= drop
 
+    def skip(self, n):
+        """Advance an *empty* buffer past ``n`` absolute indices.
+
+        Lets a lazily-maintained stream rejoin a producer that moved
+        ahead while nothing was being recorded, without storing
+        placeholders for the skipped range.
+        """
+        if self._len:
+            raise ValueError("skip requires an empty buffer")
+        self.base += n
+
+    def at(self, i):
+        """Scalar element at absolute index ``i`` (must be buffered)."""
+        if i < self.base or i >= self.end:
+            raise IndexError(
+                f"index {i} outside buffered [{self.base}, {self.end})"
+            )
+        return self._data[self._start + (i - self.base)]
+
     def view(self, lo, hi):
         """Zero-copy view of absolute range ``[lo, hi)`` (must be buffered)."""
         if lo < self.base or hi > self.end:
@@ -234,6 +289,11 @@ class _PrefixSum:
     def end(self):
         return self._buf.end
 
+    @property
+    def base(self):
+        """Oldest absolute index still viewable (the trim floor)."""
+        return self._buf.base
+
     def extend(self, values):
         n = values.size
         if n == 0:
@@ -251,8 +311,24 @@ class _PrefixSum:
     def view(self, lo, hi):
         return self._buf.view(lo, hi)
 
+    def at(self, i):
+        """Scalar prefix entry at absolute index ``i``."""
+        return self._buf.at(i)
+
     def trim(self, lo):
         self._buf.trim(lo)
+
+    def skip_to(self, index):
+        """Re-seed after the value stream jumped ahead (empty buffer).
+
+        Records a fresh prefix entry at absolute ``index`` holding the
+        running total, so later extends continue the fold there.  The
+        skipped values are simply never counted — window sums taken
+        entirely past ``index`` are unaffected (the missing constant
+        cancels in every difference).
+        """
+        self._buf.skip(index - self._buf.end)
+        self._buf.alloc(1)[0] = self._total
 
 
 class _DerivedStreams:
@@ -293,11 +369,25 @@ class _DerivedStreams:
     the on-demand dispatch overhead is pure loss.
     """
 
-    def __init__(self, decoder, folds, dtype=np.complex128):
+    def __init__(
+        self,
+        decoder,
+        folds,
+        dtype=np.complex128,
+        fold_mode="exact",
+        capture_floor=None,
+        coherence_min=0.5,
+        scan_stride=None,
+    ):
         self.bit_period = decoder.bit_period
         self.window = decoder.window
         self.folds = int(folds)
         self.span = (self.folds - 1) * self.bit_period
+        #: :func:`repro.dsp.kernels.preamble_fold` backend building the
+        #: fold profile ("exact" = fixed-order direct adds, the
+        #: bit-identity reference; "fast" = overlap-save FFT comb
+        #: correlation, decode-equivalent).
+        self.fold_mode = str(fold_mode)
         fill = decoder.rotation
         self._fill = 1.0 + 0.0j if fill is None else complex(fill)
         cdtype = np.dtype(dtype)
@@ -309,25 +399,71 @@ class _DerivedStreams:
         self.count_prefix = _PrefixSum(np.int32)
         self.coherence_prefix = _PrefixSum(rdtype)
         self.concentration_prefix = _PrefixSum(cdtype)
+        # -- windowed-statistic caches (batched scanner only) -----------
+        # Every windowed gate statistic is a pure function of absolute
+        # position — chunk alignment only chooses which slice to look
+        # at.  Header rejects rewind the origin by one bit period and
+        # rescan everything buffered ahead, re-deriving the same values
+        # ~8x on capture-dense streams; computing them once per position
+        # in extend_windowed() turns every rescan into zero-copy slicing.
+        # The grouped kernel never calls extend_windowed(), so sessions
+        # on the reference scanner pay nothing for these.
+        self._capture_floor = (
+            self.window - decoder.tau if capture_floor is None
+            else int(capture_floor)
+        )
+        self._coherence_min = float(coherence_min)
+        self._inv_fw = 1.0 / (self.folds * self.window)
+        #: Scan-chunk stride in products; a chunk starting at ``q``
+        #: evaluates the inclusive window-start range ``[q, q + stride]``.
+        self._scan_stride = (
+            8 * self.bit_period if scan_stride is None else int(scan_stride)
+        )
+        #: One past the last position with computed windowed statistics.
+        self.win_end = 0
+        self.count_win = _StreamBuffer(np.int32)
+        self.cohcand_win = _StreamBuffer(rdtype)
+        self.conc_win = _StreamBuffer(rdtype)
+        #: Smallest working-dtype float whose float64 value clears the
+        #: coherence floor: ``v >= _coh_pass`` in working precision is
+        #: exactly ``float64(v) >= coherence_min``, the comparison the
+        #: cascade's final verdict uses.  (For float32 the nearest cast
+        #: of the threshold may round below the float64 floor; nudging
+        #: one ulp up restores exact equivalence.)
+        t = rdtype.type(self._coherence_min)
+        if float(t) < self._coherence_min:
+            t = np.nextafter(t, rdtype.type(np.inf))
+        self._coh_pass = t
+        #: Prefix counts of ``cohcand_win >= _coh_pass``.  A chunk
+        #: starting at ``q`` passes the fused count+coherence gate iff
+        #: some position in ``[q, q + stride]`` passes — a sliding *any*,
+        #: answered by one prefix difference per chunk.
+        self.cohpass_prefix = _PrefixSum(np.int32)
+        #: Sorted absolute positions that could pass the concentration
+        #: gate for *some* chunk alignment (see extend_windowed).
+        self.hot = np.empty(0, dtype=np.int64)
 
     def extend(self, products):
         if products.size:
             self.mask_prefix.extend(products.imag >= 0.0)
-            self._u.append(_unit_from_products(products, self._fill))
+            _unit_from_products(
+                products, self._fill, out=self._u.alloc(products.size)
+            )
         hi = self._u.end - self.span
         lo = self.profile_end
         if hi <= lo:
             return
-        bp = self.bit_period
-        if self.folds == 1:
-            prof = self._u.view(lo, hi)
-        else:
-            # Same fixed fold order as phasor_folded_profile:
-            # ((u0 + u1) + u2) + ... — elementwise, so each position's
-            # value never depends on the surrounding slice.
-            prof = self._u.view(lo, hi) + self._u.view(lo + bp, hi + bp)
-            for k in range(2, self.folds):
-                prof += self._u.view(lo + k * bp, hi + k * bp)
+        # Same fixed fold order as phasor_folded_profile in exact mode:
+        # ((u0 + u1) + u2) + ... — elementwise, so each position's value
+        # never depends on the surrounding slice.  The kernel always
+        # returns a fresh array, so the unit reduction below may reuse
+        # it in place.
+        prof = preamble_fold(
+            self._u.view(lo, hi + self.span),
+            self.bit_period,
+            self.folds,
+            mode=self.fold_mode,
+        )
         self.profile_end = hi
         # angle(prof) < 0 without computing angles: atan2 is negative
         # iff imag < 0, or exactly -pi for (-0.0 imag, negative real).
@@ -336,15 +472,94 @@ class _DerivedStreams:
         if zero_imag.any():
             neg |= np.signbit(prof.imag) & zero_imag & (prof.real < 0.0)
         self.count_prefix.extend(neg)
-        mag = np.sqrt(prof.real * prof.real + prof.imag * prof.imag)
+        mag = prof.real * prof.real
+        mag += prof.imag * prof.imag
+        np.sqrt(mag, out=mag)
         self.coherence_prefix.extend(mag)
         np.maximum(mag, mag.dtype.type(1e-12), out=mag)
-        unit = prof  # reuse: prof is ours (fresh array when folds > 1)
-        if self.folds == 1:
-            unit = prof.copy()
+        unit = prof  # reuse: the fold kernel always returns a fresh array
         unit.real /= mag
         unit.imag /= mag
         self.concentration_prefix.extend(unit)
+
+    def extend_windowed(self):
+        """Bring the windowed-statistic caches up to the profile end.
+
+        For each newly covered position ``p`` (a window start), computes
+        from the prefix streams — with exactly the expressions and
+        rounding the scan cascade uses, so the cached floats are
+        bit-identical to deriving them inside the scanner:
+
+        * ``count_win[p]`` — votes in ``[p, p + window)`` (int, exact),
+        * ``cohcand_win[p]`` — the windowed mean fold magnitude where
+          the count clears the capture floor, ``-inf`` elsewhere (the
+          fused count+coherence gate input),
+        * ``conc_win[p]`` — the windowed concentration magnitude,
+        * ``cohpass_prefix`` — prefix counts of positions whose
+          candidate coherence clears the floor in float64 terms, so a
+          chunk's fused count+coherence verdict (does *any* window
+          start in ``[q, q + stride]`` pass?) is one prefix
+          difference,
+        * ``hot`` — sorted positions where ``conc_win >= 0.6`` *and*
+          ``cohcand_win >= coherence_min``.  Any chunk whose best
+          masked concentration could clear the absolute floor must
+          contain one (the kept-mask threshold is ``>= coherence_min``
+          and float casts are monotonic), so a chunk with no hot
+          position in range is a concentration miss with no further
+          arithmetic.
+        """
+        w = self.window
+        lo = self.win_end
+        base = self.count_prefix.base
+        if lo < base:
+            # The session trimmed past the cache's high-water mark while
+            # a capture was decoding: positions below the trim floor can
+            # never be scanned again, so rejoin the prefixes there.  The
+            # windowed buffers were trimmed empty to exactly ``lo``.
+            self.count_win.skip(base - lo)
+            self.cohcand_win.skip(base - lo)
+            self.conc_win.skip(base - lo)
+            self.cohpass_prefix.skip_to(base)
+            self.win_end = lo = base
+        hi = self.profile_end - w + 1
+        if hi <= lo:
+            return
+        # Computed straight into the cache buffers (no temp + copy);
+        # every expression is the same single-rounding ufunc sequence
+        # as the cascade's own derivation, so the floats are identical.
+        n = hi - lo
+        cn = self.count_prefix.view(lo, hi + w)
+        counts = self.count_win.alloc(n)
+        np.subtract(cn[w:], cn[:-w], out=counts)
+        cm = self.coherence_prefix.view(lo, hi + w)
+        cohcand = self.cohcand_win.alloc(n)
+        np.subtract(cm[w:], cm[:-w], out=cohcand)
+        cohcand *= self._inv_fw
+        cohcand[counts < self._capture_floor] = -np.inf
+        cu = self.concentration_prefix.view(lo, hi + w)
+        du = cu[w:] - cu[:-w]
+        mag = du.real * du.real
+        mag += du.imag * du.imag
+        np.sqrt(mag, out=mag)
+        conc = self.conc_win.alloc(n)
+        np.multiply(mag, 1.0 / w, out=conc)
+        cpass = cohcand >= self._coh_pass
+        self.cohpass_prefix.extend(cpass)
+        if float(self._coh_pass) == self._coherence_min:
+            # The nudged threshold landed exactly on the float64 floor,
+            # so the pass mask doubles as the hot filter's coherence arm
+            # (the weak-cast compare against ``coherence_min`` resolves
+            # to the same working-precision threshold).
+            coh_hot = cpass
+        else:
+            coh_hot = cohcand >= self._coherence_min
+        hm = conc >= 0.6
+        hm &= coh_hot
+        hot = hm.nonzero()[0]
+        if hot.size:
+            hot += lo
+            self.hot = np.concatenate([self.hot, hot])
+        self.win_end = hi
 
     def trim(self, lo):
         self._u.trim(self.profile_end)
@@ -352,6 +567,12 @@ class _DerivedStreams:
         self.count_prefix.trim(lo)
         self.coherence_prefix.trim(lo)
         self.concentration_prefix.trim(lo)
+        self.count_win.trim(lo)
+        self.cohcand_win.trim(lo)
+        self.conc_win.trim(lo)
+        self.cohpass_prefix.trim(lo)
+        if self.hot.size and self.hot[0] < lo:
+            self.hot = self.hot[np.searchsorted(self.hot, lo):]
 
 
 @dataclass(frozen=True)
@@ -425,6 +646,7 @@ class StreamSession:
         coherence_slack=0.2,
         coherence_min=0.5,
         dtype=np.complex128,
+        scan_kernel=DEFAULT_SCAN_KERNEL,
     ):
         self.decoder = decoder
         self.zigbee_channel = zigbee_channel
@@ -437,6 +659,12 @@ class StreamSession:
             raise ValueError("dtype must be complex64 or complex128")
         if scan_stride_bits < 1:
             raise ValueError("scan_stride_bits must be >= 1")
+        spec = validate_scan_kernel(scan_kernel)
+        #: Scanner backend (see :mod:`repro.stream.scan`).
+        self.scan_kernel = spec.name
+        self._search_scan = (
+            self._scan_batched if spec.batched else self._scan_grouped
+        )
         #: Products the search origin advances per missed chunk.
         self.stride = int(scan_stride_bits) * decoder.bit_period
         #: Extra products a fold window reaches past its start.
@@ -444,11 +672,21 @@ class StreamSession:
         #: Full deterministic scan-chunk length.
         self.scan_len = self.stride + self.span + decoder.window
         self._buf = _StreamBuffer(self.dtype)
-        self._derived = _DerivedStreams(decoder, self.folds, self.dtype)
+        tau = decoder.tau if capture_tau is None else int(capture_tau)
+        self._derived = _DerivedStreams(
+            decoder,
+            self.folds,
+            self.dtype,
+            fold_mode=spec.fold_mode,
+            capture_floor=decoder.window - tau,
+            coherence_min=self.coherence_min,
+            scan_stride=self.stride,
+        )
         #: Memoized index arrays for the scan and bit decode — their
         #: shapes repeat every call, and arange dominates small calls.
         self._edges_cache = {}
         self._starts_cache = {}
+        self._header_gather = None
         self._state = "search"
         self._origin = 0          # absolute origin of the next scan chunk
         self._n0 = 0              # absolute preamble index of current capture
@@ -520,12 +758,28 @@ class StreamSession:
         return emitted
 
     def _advance(self, final, emitted):
-        """One state transition; False when blocked on more input."""
+        """One state transition; False when blocked on more input.
+
+        Each transition runs under its own trace span (``scan`` /
+        ``header`` / ``body``) so ``listen --profile`` attributes
+        session time to the stage that spent it; the spans are gated on
+        ``TRACER.enabled`` so the idle hot path never pays the
+        context-manager protocol when nobody is tracing.
+        """
         if self._state == "search":
-            return self._search(final)
+            if not TRACER.enabled:
+                return self._search(final)
+            with TRACER.span("stream.session.scan"):
+                return self._search(final)
         if self._state == "header":
-            return self._header(final)
-        return self._body(final, emitted)
+            if not TRACER.enabled:
+                return self._header(final)
+            with TRACER.span("stream.session.header"):
+                return self._header(final)
+        if not TRACER.enabled:
+            return self._body(final, emitted)
+        with TRACER.span("stream.session.body"):
+            return self._body(final, emitted)
 
     def _search(self, final):
         avail = self._buf.end - self._origin
@@ -560,7 +814,7 @@ class StreamSession:
             self._origin = self._buf.end
         return False
 
-    def _search_scan(self, chunks):
+    def _scan_grouped(self, chunks):
         """Gate ``chunks`` consecutive buffered chunks from the caches.
 
         Chunk-by-chunk semantics identical to handing each chunk to
@@ -707,16 +961,346 @@ class StreamSession:
             self._origin = o + gn * s
         return True
 
+    def _scan_batched(self, chunks):
+        """Batched scan: the masked cascade over whole chunk batches.
+
+        Decision- and metric-identical to :meth:`_scan_grouped` — both
+        kernels compare exactly the same cache floats and every gate is
+        a pure function of one chunk's slice — but the per-chunk work
+        collapses to almost nothing:
+
+        * **windowed statistics are cached, not derived**: every gate
+          input (windowed vote count, candidate-masked coherence,
+          concentration magnitude) is a pure function of absolute
+          stream position, maintained once per position by
+          :meth:`_DerivedStreams.extend_windowed`.  Header-reject
+          rescans — which re-cover everything buffered ahead of the
+          reject, the dominant scan cost on capture-dense streams —
+          become zero-copy slices of those caches.
+        * **count + coherence fused**: a chunk clears the fused gate
+          iff *some* window start in its inclusive range has a
+          candidate coherence over the floor — a sliding *any*,
+          answered for the whole batch by one strided difference of
+          the cached pass-count prefix (``cohpass_prefix``).  The
+          threshold is pre-adjusted so the working-precision compare
+          equals the float64 verdict the grouped kernel reaches per
+          chunk with its pre-gate plus an in-loop ``np.where``/``max``
+          pair (same coherence-miss totals, split between its two
+          stages).
+        * **concentration via the hot index**: the cache keeps the
+          sorted positions that could pass the concentration floor
+          under any chunk-relative mask, so one ``searchsorted`` per
+          batch finds the chunks worth an exact look; the rest are
+          concentration misses with no arithmetic at all.  Only those
+          (rare) chunks run the grouped kernel's own scalar cascade.
+
+        Batch sizing follows ``_SCAN_BATCH_MIN/GROWTH/MAX``: small
+        first pass, so header-reject rescans stay as cheap as the
+        grouped kernel's 8-chunk cap, then growing passes while
+        draining deep buffers — sizing cannot change an outcome, it
+        only widens the dispatch.
+        """
+        s = self.stride
+        w = self.decoder.window
+        folds = self.folds
+        tau = self.decoder.tau if self.capture_tau is None else int(self.capture_tau)
+        floor = w - tau
+        coh_min = self.coherence_min
+        slack = self.coherence_slack
+        ninf = -np.inf
+        derived = self._derived
+        derived.extend_windowed()
+        hot = derived.hot
+        # Fast path: after a header-reject rewind the accepted chunk is
+        # usually the very first one — gate it with two scalar prefix
+        # reads and, when it might hit, run its cascade on stride-sized
+        # views, skipping the batched dispatch entirely.  Commits only
+        # on an accept (whose only metric effects are the hit counters
+        # recorded here); every other outcome falls through with no
+        # side effects and the dense pass below re-derives it from the
+        # same cache floats.
+        #
+        # When nobody is watching the metrics the accept also gates the
+        # header word right here (the same gather :meth:`_header` runs)
+        # — a reject then rewinds the origin one bit period and loops
+        # without bouncing through the ``_advance``/``_search`` state
+        # machinery, whose per-transition dispatch dominates the cost
+        # of capture-dense reject chains.  State transitions, session
+        # counters, and every decision are identical to taking the
+        # machinery path; it is purely fewer python frames per reject.
+        bp = self.decoder.bit_period
+        registry_off = not REGISTRY.enabled
+        # Raw cache arrays hoisted out of the reject loop: nothing
+        # extends or trims the derived buffers while a scan runs, so
+        # (data, physical offset) pairs stay valid across iterations
+        # and replace a bounds-checked .view() call per access.
+        cb = derived.cohpass_prefix._buf
+        cpd, cpo = cb._data, cb._start - cb.base
+        chb = derived.cohcand_win
+        chd, cho = chb._data, chb._start - chb.base
+        cnb = derived.conc_win
+        cnd, cno = cnb._data, cnb._start - cnb.base
+        ctb = derived.count_win
+        ctd, cto = ctb._data, ctb._start - ctb.base
+        mpb = derived.mask_prefix._buf
+        mpd, mpo = mpb._data, mpb._start - mpb.base
+        hdr_span = (_HEADER_BITS - 1) * bp + self.decoder.window
+        buf_end = self._buf.end
+        scan_len = self.scan_len
+        cached = self._header_gather
+        if cached is None:
+            starts = bp * np.arange(_HEADER_BITS, dtype=np.int64)
+            idx = np.concatenate((starts, starts + self.decoder.window))
+            weights = 1 << np.arange(
+                _HEADER_BITS - 1, -1, -1, dtype=np.int64
+            )
+            cached = self._header_gather = (idx, weights)
+        hdr_idx, hdr_weights = cached
+        tau_sync = self.decoder.tau_sync
+        while chunks:
+            o = self._origin
+            if cpd[cpo + o + s + 1] <= cpd[cpo + o]:
+                break
+            h0 = hot.searchsorted(o)
+            if h0 >= hot.size or hot[h0] > o + s:
+                break
+            a = cho + o
+            coh_c = chd[a : a + s + 1]
+            kept = coh_c >= max(float(coh_c.max()) - slack, coh_min)
+            a = cno + o
+            conc_c = np.where(kept, cnd[a : a + s + 1], ninf)
+            best_conc = float(conc_c.max())
+            if best_conc < 0.6:
+                break
+            surv = conc_c >= max(best_conc - slack, 0.6)
+            cand_pos = surv.nonzero()[0]
+            first = int(cand_pos[0])
+            breaks = (cand_pos[1:] - cand_pos[:-1] > 1).nonzero()[0]
+            cluster_end = (
+                int(cand_pos[breaks[0]])
+                if breaks.size
+                else int(cand_pos[-1])
+            )
+            a = cto + o + first
+            n0 = first + int(
+                np.argmax(ctd[a : a + cluster_end - first + 1])
+            )
+            if n0 >= s:
+                break
+            coherence = float(coh_c[n0]) if surv[n0] else 1.0
+            self._n0 = o + n0
+            self._data_start = self._n0 + folds * bp
+            self._coherence = coherence
+            if registry_off:
+                end = self._data_start + hdr_span
+                if buf_end >= end:
+                    # The exact word gate _header runs, inlined: on a
+                    # reject, rewind and keep scanning chunk 0 in-loop.
+                    a = mpo + self._data_start
+                    edges = mpd[a : a + hdr_span + 1][hdr_idx]
+                    votes = edges[_HEADER_BITS:] - edges[:_HEADER_BITS]
+                    word = int((votes >= tau_sync) @ hdr_weights)
+                    version = (word >> (_HEADER_BITS - 4)) & 0xF
+                    frame_type = (word >> (_HEADER_BITS - 8)) & 0xF
+                    length = (word >> (_HEADER_BITS - 16)) & 0xFF
+                    if (
+                        version != VERSION
+                        or frame_type > MAX_KNOWN_FRAME_TYPE
+                        or (
+                            FRAME_TYPE_ACK
+                            < frame_type
+                            < FRAME_TYPE_TRANSPORT_BASE
+                        )
+                        or length > MAX_DATA_BITS
+                    ):
+                        self.header_rejects += 1
+                        self._origin = self._n0 + bp
+                        avail = buf_end - self._origin
+                        if avail < scan_len:
+                            # Blocked (or the end-of-stream partial):
+                            # hand back to _search, which knows what to
+                            # do with the remainder.
+                            return True
+                        chunks = 1 + (avail - scan_len) // self.stride
+                        continue
+                    self._total_bits = frame_overhead_bits() + length
+                    self._state = "body"
+                    return True
+            else:
+                _HIT.inc()
+                _COHERENCE.observe(coherence)
+            self._state = "header"
+            return True
+        done = 0
+        batch = _SCAN_BATCH_MIN
+        while done < chunks:
+            gn = min(batch, chunks - done)
+            batch = min(batch * _SCAN_BATCH_GROWTH, _SCAN_BATCH_MAX)
+            o = self._origin
+            n_starts = gn * s + 1
+            # Fused count + coherence gate: chunk ``i`` passes iff any
+            # position in ``[i*s, i*s + s]`` clears the coherence floor
+            # — one strided difference of the cached pass-count prefix.
+            cp = derived.cohpass_prefix.view(o, o + n_starts + 1)
+            passing = (cp[s + 1 :: s][:gn] > cp[: gn * s : s]).nonzero()[0]
+
+            counts = None
+            has_cand = None
+
+            def miss_below(upto):
+                """Count/coherence miss metrics for chunks below ``upto``.
+
+                ``passing`` already excludes chunks whose best candidate
+                coherence misses the floor, so the coherence-miss count
+                covers both grouped-kernel cases (pre-gate miss and
+                in-loop masked miss) in one subtraction — same totals.
+                """
+                nonlocal counts, has_cand
+                if registry_off or upto <= 0:
+                    # Pure metric accounting — skip the arithmetic when
+                    # nobody can observe it.
+                    return
+                n_pass = int(passing.searchsorted(upto))
+                if n_pass == upto:
+                    return
+                if has_cand is None:
+                    if counts is None:
+                        counts = derived.count_win.view(o, o + n_starts)
+                    edges = self._edges_cache.get(gn)
+                    if edges is None:
+                        edges = np.arange(0, gn * s, s)
+                        self._edges_cache[gn] = edges
+                    has_cand = np.maximum(
+                        np.maximum.reduceat(counts, edges), counts[s::s]
+                    ) >= floor
+                n_count = int(upto - np.count_nonzero(has_cand[:upto]))
+                n_coh = upto - n_pass - n_count
+                if n_count:
+                    _MISS_COUNT.inc(n_count)
+                if n_coh:
+                    _MISS_COHERENCE.inc(n_coh)
+
+            accepted = False
+            r_stop = passing.size
+            maybe = _EMPTY_ROWS
+            if passing.size:
+                # Concentration stage only where it can matter: the hot
+                # index pins down every position that could clear the
+                # absolute concentration floor under *any* chunk-relative
+                # kept mask, so a passing chunk with no hot position in
+                # its inclusive range [i*s, i*s + s] is a concentration
+                # miss with no further work.  The scalar cascade below —
+                # the grouped kernel's own in-loop arithmetic, byte for
+                # byte — runs only for the (rare) chunks that might hit.
+                h0, h1 = hot.searchsorted((o, o + n_starts))
+                if h1 > h0:
+                    hot_rel = hot[h0:h1] - o
+                    plo = passing * s
+                    li = hot_rel.searchsorted(plo)
+                    ri = hot_rel.searchsorted(plo + s, side="right")
+                    maybe = (ri > li).nonzero()[0]
+            if maybe.size:
+                conc = derived.conc_win.view(o, o + n_starts)
+                coh_cand = derived.cohcand_win.view(o, o + n_starts)
+                if counts is None:
+                    counts = derived.count_win.view(o, o + n_starts)
+                for r in maybe:
+                    r = int(r)
+                    i = int(passing[r])
+                    lo = i * s
+                    sl = slice(lo, lo + s + 1)
+                    coh_c = coh_cand[sl]
+                    # Grouped's exact in-loop arithmetic, bit for bit:
+                    # the chunk best as a float64 max over the masked
+                    # slice, and a relative threshold that weak-casts
+                    # to the cache dtype in the comparison.
+                    kept = coh_c >= max(float(coh_c.max()) - slack, coh_min)
+                    conc_c = np.where(kept, conc[sl], ninf)
+                    best_conc = float(conc_c.max())
+                    if best_conc < 0.6:
+                        _MISS_CONCENTRATION.inc()
+                        continue
+                    surv = conc_c >= max(best_conc - slack, 0.6)
+                    cand_pos = surv.nonzero()[0]
+                    # Anchor inside the first qualifying cluster at its
+                    # count peak, exactly as the grouped kernel does.
+                    first = int(cand_pos[0])
+                    breaks = (cand_pos[1:] - cand_pos[:-1] > 1).nonzero()[0]
+                    cluster_end = (
+                        int(cand_pos[breaks[0]])
+                        if breaks.size
+                        else int(cand_pos[-1])
+                    )
+                    n0 = first + int(
+                        np.argmax(counts[lo + first : lo + cluster_end + 1])
+                    )
+                    coherence = float(coh_cand[lo + n0]) if surv[n0] else 1.0
+                    _HIT.inc()
+                    _COHERENCE.observe(coherence)
+                    if n0 >= s:
+                        # Late hit: re-found by the next chunk below its
+                        # own accept limit, as serial scanning would.
+                        continue
+                    miss_below(i)
+                    self._origin = o + lo
+                    self._n0 = self._origin + n0
+                    self._data_start = self._n0 + folds * self.decoder.bit_period
+                    self._coherence = coherence
+                    self._state = "header"
+                    accepted = True
+                    r_stop = r
+                    break
+            # Passing chunks below the stop point that were not worth an
+            # exact look all miss the concentration gate; evaluated ones
+            # recorded their own outcome above.  Same totals as grouped's
+            # per-chunk increments, no metrics past an accepted chunk.
+            if not registry_off:
+                n_conc = int(r_stop - maybe.searchsorted(r_stop))
+                if n_conc:
+                    _MISS_CONCENTRATION.inc(n_conc)
+            if accepted:
+                return True
+            miss_below(gn)
+            self._origin = o + gn * s
+            done += gn
+        return True
+
     def _header(self, final):
         end = self._bits_end(_HEADER_BITS)
         if self._buf.end < end:
             return False
-        bits = self._decode_bits(self._data_start, _HEADER_BITS)
-        if len(bits) < _HEADER_BITS:
-            return False if not final else self._reject_header()
-        version = self._bits_to_int(bits[0:4])
-        frame_type = self._bits_to_int(bits[4:8])
-        length = self._bits_to_int(bits[8:16])
+        if not REGISTRY.enabled:
+            # Hot path (header rejects dominate capture-dense scanning):
+            # decode all 24 header bits as one machine word — a single
+            # fancy gather of the vote prefix at the 48 window edges,
+            # thresholded and dotted with bit weights.  Same integer
+            # vote counts as :meth:`_decode_bits`, so the same bits.
+            cached = self._header_gather
+            if cached is None:
+                bp = self.decoder.bit_period
+                starts = bp * np.arange(_HEADER_BITS, dtype=np.int64)
+                idx = np.concatenate((starts, starts + self.decoder.window))
+                weights = 1 << np.arange(
+                    _HEADER_BITS - 1, -1, -1, dtype=np.int64
+                )
+                cached = self._header_gather = (idx, weights)
+            idx, weights = cached
+            prefix = self._derived.mask_prefix.view(
+                self._data_start, end + 1
+            )
+            edges = prefix[idx]
+            votes = edges[_HEADER_BITS:] - edges[:_HEADER_BITS]
+            word = int((votes >= self.decoder.tau_sync) @ weights)
+            version = (word >> (_HEADER_BITS - 4)) & 0xF
+            frame_type = (word >> (_HEADER_BITS - 8)) & 0xF
+            length = (word >> (_HEADER_BITS - 16)) & 0xFF
+        else:
+            bits = self._decode_bits(self._data_start, _HEADER_BITS)
+            if len(bits) < _HEADER_BITS:
+                return False if not final else self._reject_header()
+            version = self._bits_to_int(bits[0:4])
+            frame_type = self._bits_to_int(bits[4:8])
+            length = self._bits_to_int(bits[8:16])
         if (
             version != VERSION
             or frame_type > MAX_KNOWN_FRAME_TYPE
@@ -746,9 +1330,10 @@ class StreamSession:
         # Magnitude via single-rounding real ops (not np.abs's hypot
         # kernel) so the value cannot drift with buffer alignment —
         # the engine's leak arbitration compares it across sessions.
-        band_power = float(
-            np.mean(np.sqrt(span.real * span.real + span.imag * span.imag))
-        )
+        mag = span.real * span.real
+        mag += span.imag * span.imag
+        np.sqrt(mag, out=mag)
+        band_power = float(np.mean(mag))
         emitted.append(
             StreamFrame(
                 zigbee_channel=self.zigbee_channel,

@@ -50,6 +50,44 @@ class TestAdmissionControl:
                 core.admit("a")
             assert excinfo.value.code == ERR_DUPLICATE_TENANT
 
+    def test_finished_tenant_id_can_be_readmitted(self):
+        # ``finish`` releases the id: a later admit under the same name
+        # is a fresh session, not a duplicate-tenant refusal.
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.submit("a", _zeros())
+            core.finish_tenant("a")
+            info = core.admit("a")
+            assert info["tenant"] == "a"
+            stats = core.tenant_stats("a")
+            assert not stats["finished"]
+            assert stats["blocks_in"] == 0  # zeroed, not carried over
+            # The fresh session is fully usable end to end.
+            assert core.submit("a", _zeros()) in (True, False)
+            result = core.finish_tenant("a")
+            assert result["stats"]["finished"]
+
+    def test_finished_tenant_id_readmitted_on_pooled_backend(self):
+        # Pooled re-admission reopens the tenant's pool key: the old
+        # consumer was closed by finish, the new admit must build a
+        # fresh one rather than trip the pool's duplicate-key guard.
+        with GatewayCore(engine=FAST_ENGINE, jobs=2) as core:
+            core.admit("a")
+            core.submit("a", _zeros())
+            core.finish_tenant("a")
+            core.admit("a")
+            core.submit("a", _zeros())
+            result = core.finish_tenant("a")
+            assert result["stats"]["finished"]
+
+    def test_readmission_still_refused_while_active(self):
+        with GatewayCore(engine=FAST_ENGINE) as core:
+            core.admit("a")
+            core.submit("a", _zeros())
+            with pytest.raises(GatewayError) as excinfo:
+                core.admit("a")
+            assert excinfo.value.code == ERR_DUPLICATE_TENANT
+
     def test_unknown_tenant_refused(self):
         with GatewayCore() as core:
             with pytest.raises(GatewayError) as excinfo:

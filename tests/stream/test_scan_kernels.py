@@ -1,0 +1,151 @@
+"""Scan-kernel registry: identity, invariance, pooled equality.
+
+The PR-10 scanner contract, asserted rather than assumed:
+
+* ``batched`` is **bit-identical** to the ``grouped`` reference — same
+  frames, same order, same float diagnostics — on every product domain
+  it runs over (decimation 4 and 8), because every gate compares
+  exactly the same floats; batching the cascade cannot change an
+  outcome.
+* the batched kernel is block-size invariant at decimation 8, the
+  deepest product domain: adversarial fixed sizes plus random cuts all
+  reproduce one reference decode.
+* ``fft`` is decode-equivalent, not bit-identical: the overlap-save
+  profile differs at ~1e-13 relative, inside the gate slack, so the
+  CRC-valid payload multiset must match the exact-fold kernels.
+* the persistent worker pool replays the serial decode byte for byte
+  with the batched kernel — pooling is a transport, not a decoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import StreamSender, StreamTraffic
+from repro.stream.engine import StreamEngine
+from repro.stream.scan import DEFAULT_SCAN_KERNEL, SCAN_KERNELS
+
+BLOCK_SIZES = (64, 1000, 4096, 9973)
+
+#: Decimated fast path, the configuration the scanner was built for.
+FAST = dict(demux=True, mode="fast", working_dtype=np.complex64)
+
+
+def _decode_fields(frames):
+    return [frame.decode_fields() for frame in frames]
+
+
+def _crc_ok_bits(frames):
+    return sorted(tuple(frame.bits) for frame in frames if frame.crc_ok)
+
+
+@pytest.fixture(scope="module")
+def demux_case():
+    senders = [
+        StreamSender(0, zigbee_channel=11),
+        StreamSender(1, zigbee_channel=13),
+        StreamSender(2, zigbee_channel=14),
+    ]
+    traffic = StreamTraffic(senders, duration_s=0.025)
+    samples, truth = traffic.capture(np.random.default_rng(42))
+    assert truth
+    return traffic, samples
+
+
+def _run(demux_case, block_size=65536, **overrides):
+    traffic, samples = demux_case
+    engine = StreamEngine(**{**FAST, **overrides})
+    return engine.run(traffic.blocks(samples, block_size))
+
+
+@pytest.fixture(scope="module")
+def grouped_d8_frames(demux_case):
+    frames = _run(demux_case, decimation=8, scan_kernel="grouped")
+    assert frames
+    return frames
+
+
+@pytest.fixture(scope="module")
+def grouped_d8(grouped_d8_frames):
+    return _decode_fields(grouped_d8_frames)
+
+
+@pytest.mark.parametrize("decimation", [4, 8])
+def test_batched_is_bit_identical_to_grouped(demux_case, decimation):
+    grouped = _run(demux_case, decimation=decimation, scan_kernel="grouped")
+    batched = _run(demux_case, decimation=decimation, scan_kernel="batched")
+    assert grouped
+    assert _decode_fields(batched) == _decode_fields(grouped)
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_batched_d8_is_block_size_invariant(
+    demux_case, grouped_d8, block_size
+):
+    frames = _run(
+        demux_case, block_size, decimation=8, scan_kernel="batched"
+    )
+    assert _decode_fields(frames) == grouped_d8
+
+
+def test_batched_d8_random_cuts_match(demux_case, grouped_d8, rng):
+    traffic, samples = demux_case
+    engine = StreamEngine(**FAST, decimation=8, scan_kernel="batched")
+    frames = []
+    lo = 0
+    while lo < samples.size:
+        size = int(rng.integers(1, 20000))
+        frames.extend(engine.process_block(samples[lo : lo + size]))
+        lo += size
+    frames.extend(engine.finish())
+    assert _decode_fields(frames) == grouped_d8
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_fft_d8_is_block_size_invariant(demux_case, block_size):
+    # The fft kernel has its *own* reference decode (profiles differ
+    # from the exact fold at the last bits), but must be invariant to
+    # blocking against itself all the same.
+    reference = _run(demux_case, decimation=8, scan_kernel="fft")
+    frames = _run(demux_case, block_size, decimation=8, scan_kernel="fft")
+    assert _decode_fields(frames) == _decode_fields(reference)
+
+
+def test_fft_delivers_exact_fold_payloads(demux_case, grouped_d8_frames):
+    # Decode-equivalence across fold arithmetic: same CRC-valid payload
+    # multiset as the exact-fold kernels and as the exact-mode engine.
+    fft_frames = _run(demux_case, decimation=8, scan_kernel="fft")
+    bits = _crc_ok_bits(fft_frames)
+    assert bits
+    assert bits == _crc_ok_bits(grouped_d8_frames)
+    traffic, samples = demux_case
+    exact = StreamEngine(demux=True, decimation=4, mode="exact")
+    exact_frames = exact.run(traffic.blocks(samples, 65536))
+    assert bits == _crc_ok_bits(exact_frames)
+
+
+def test_pooled_matches_serial_batched_d8(demux_case, grouped_d8):
+    traffic, samples = demux_case
+    engine = StreamEngine(**FAST, decimation=8, scan_kernel="batched")
+    frames = engine.run(traffic.blocks(samples, 65536), jobs=2)
+    assert _decode_fields(frames) == grouped_d8
+
+
+def test_unknown_scan_kernel_rejected():
+    with pytest.raises(ValueError, match="unknown scan kernel"):
+        StreamEngine(demux=True, decimation=4, scan_kernel="vectorized")
+
+
+def test_registry_shape():
+    assert DEFAULT_SCAN_KERNEL in SCAN_KERNELS
+    assert set(SCAN_KERNELS) == {"grouped", "batched", "fft"}
+    for spec in SCAN_KERNELS.values():
+        assert spec.fold_mode in ("exact", "fast")
+
+
+def test_stats_report_scan_kernel(demux_case):
+    traffic, samples = demux_case
+    engine = StreamEngine(**FAST, decimation=8, scan_kernel="fft")
+    engine.run(traffic.blocks(samples, 65536))
+    stats = engine.stats()
+    assert stats["scan_kernel"] == "fft"
+    assert stats["decimation"] == 8

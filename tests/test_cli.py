@@ -250,15 +250,106 @@ class TestBenchTrajectory:
             == 0
         )
         report = json.loads(capsys.readouterr().out)
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         (artifact,) = report["artifacts"]
         assert artifact["name"] == "BENCH_X"
         assert artifact["best_streaming"]["effective_msps"] == 12.5
         assert artifact["best_streaming"]["config"] == "streaming"
         assert artifact["throughput"][0]["unit"] == "Msps"
+        assert report["gateway"] is None  # no BENCH_GATEWAY.json here
+        assert report["sim"] is None  # no BENCH_PR8.json here
         assert report["live"]["samples"] == 1
         assert report["live"]["msps_mean"] == 5.0
         assert report["live"]["final"] is True
+
+    def test_json_report_gateway_and_sim_sections(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_GATEWAY.json").write_text(
+            json.dumps(
+                {
+                    "cpu_count": 2,
+                    "serial": {
+                        "tenants": 4,
+                        "cores_used": 1,
+                        "tenants_per_core_at_realtime": 1.28,
+                        "effective_msps": 25.6,
+                    },
+                    "pooled": {
+                        "tenants": 4,
+                        "cores_used": 2,
+                        "tenants_per_core_at_realtime": 0.27,
+                        "effective_msps": 10.8,
+                    },
+                    "gates": {"target_tenants_per_core": 1.0},
+                }
+            )
+        )
+        (tmp_path / "BENCH_PR8.json").write_text(
+            json.dumps(
+                {
+                    "packet_fleet": {
+                        "nodes": 500,
+                        "frames_offered": 113371,
+                        "delivery_ratio": 0.9893,
+                        "wall_seconds": 6.47,
+                        "frames_per_sec": 17525.6,
+                    },
+                    "fast_path_speedup": 147.2,
+                }
+            )
+        )
+        assert (
+            main(["bench", "trajectory", "--root", str(tmp_path), "--json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        gateway = report["gateway"]
+        assert gateway["target_tenants_per_core"] == 1.0
+        by_config = {row["config"]: row for row in gateway["rows"]}
+        assert by_config["serial"]["tenants_per_core_at_realtime"] == 1.28
+        assert by_config["pooled"]["cores_used"] == 2
+        sim = report["sim"]
+        assert sim["fast_path_speedup"] == 147.2
+        (fleet,) = sim["rows"]
+        assert fleet["config"] == "packet_fleet"
+        assert fleet["frames_per_sec"] == 17525.6
+        assert fleet["nodes"] == 500
+
+    def test_table_report_gateway_and_sim_sections(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        (tmp_path / "BENCH_GATEWAY.json").write_text(
+            json.dumps(
+                {
+                    "serial": {
+                        "tenants": 4,
+                        "cores_used": 1,
+                        "tenants_per_core_at_realtime": 1.28,
+                        "effective_msps": 25.6,
+                    },
+                    "gates": {"target_tenants_per_core": 1.0},
+                }
+            )
+        )
+        (tmp_path / "BENCH_PR8.json").write_text(
+            json.dumps(
+                {
+                    "packet_fleet": {
+                        "nodes": 500,
+                        "frames_per_sec": 17525.6,
+                    }
+                }
+            )
+        )
+        assert main(["bench", "trajectory", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway capacity" in out
+        assert "tenants/core" in out
+        assert "fleet simulator" in out
+        assert "frames/s" in out
 
     def test_json_empty_root_exits_nonzero(self, tmp_path, capsys):
         assert (
